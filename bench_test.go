@@ -1,0 +1,288 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (scaled to benchmark-friendly sizes; cmd/experiments runs the
+// full-scale campaigns), plus ablation benches for the design choices
+// called out in DESIGN.md §5 and micro-benchmarks of the hot substrates.
+//
+//	go test -bench=. -benchmem
+package rentmin_test
+
+import (
+	"testing"
+	"time"
+
+	"rentmin"
+	"rentmin/internal/core"
+	"rentmin/internal/experiments"
+	"rentmin/internal/graphgen"
+	"rentmin/internal/heuristics"
+	"rentmin/internal/rng"
+	"rentmin/internal/solve"
+	"rentmin/internal/stream"
+)
+
+// --- Table III -------------------------------------------------------------
+
+// BenchmarkTable3 regenerates the full illustrating-example table: exact
+// ILP plus all five heuristics for ρ = 10..200 step 10.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3(7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSweep runs a scaled-down campaign for one paper setting.
+func benchSweep(b *testing.B, s experiments.Setting, configs int, targets []int) {
+	b.Helper()
+	s = s.Scaled(configs, targets)
+	s.Heuristics.Iterations = 500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 3-8 -------------------------------------------------------------
+
+// BenchmarkFig3SmallGraphs is the Figure 3 campaign (normalized cost,
+// small graphs) at bench scale.
+func BenchmarkFig3SmallGraphs(b *testing.B) {
+	benchSweep(b, experiments.Fig3Setting(), 2, []int{40, 120, 200})
+}
+
+// BenchmarkFig4BestCounts exercises the Figure 4 aggregation (best-cost
+// counts) on the same small-graph setting.
+func BenchmarkFig4BestCounts(b *testing.B) {
+	s := experiments.Fig3Setting().Scaled(3, []int{100})
+	s.Heuristics.Iterations = 500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSweep(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Algo("ILP").BestCount[0] != s.Configs {
+			b.Fatal("ILP not always best at bench scale")
+		}
+	}
+}
+
+// BenchmarkFig5Timing exercises the Figure 5 timing aggregation: serial
+// workers for faithful per-algorithm times.
+func BenchmarkFig5Timing(b *testing.B) {
+	s := experiments.Fig3Setting().Scaled(2, []int{100})
+	s.Workers = 1
+	s.Heuristics.Iterations = 500
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6MediumGraphs is the Figure 6 campaign (medium graphs).
+func BenchmarkFig6MediumGraphs(b *testing.B) {
+	benchSweep(b, experiments.Fig6Setting(), 2, []int{100})
+}
+
+// BenchmarkFig7LargeGraphs is the Figure 7 campaign (large graphs).
+func BenchmarkFig7LargeGraphs(b *testing.B) {
+	benchSweep(b, experiments.Fig7Setting(), 1, []int{100})
+}
+
+// BenchmarkFig8ILPTimeLimit is the Figure 8 stress: a huge instance with a
+// deliberately tight ILP budget, measuring the time-limited path.
+func BenchmarkFig8ILPTimeLimit(b *testing.B) {
+	s := experiments.Fig8Setting(250*time.Millisecond).Scaled(1, []int{120})
+	s.Heuristics.Iterations = 300
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSweep(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------------
+
+// fig3Instance returns one representative small-graph instance.
+func fig3Instance(b *testing.B) *core.CostModel {
+	b.Helper()
+	p, err := graphgen.Generate(experiments.Fig3Setting().Gen, rng.New(0xF193).Sub('c', 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewCostModel(p)
+}
+
+// benchILPVariant measures one solver variant under a fixed budget and
+// reports the fraction of proven-optimal solves; weak variants (e.g.
+// without strong branching) exhaust the budget instead of proving.
+func benchILPVariant(b *testing.B, opts solve.ILPOptions) {
+	b.Helper()
+	m := fig3Instance(b)
+	opts.TimeLimit = 5 * time.Second
+	proven := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solve.ILP(m, 100, &opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Proven {
+			proven++
+		}
+	}
+	b.ReportMetric(float64(proven)/float64(b.N), "proven/op")
+}
+
+func BenchmarkAblationILPFull(b *testing.B) { benchILPVariant(b, solve.ILPOptions{}) }
+
+func BenchmarkAblationILPNoWarmStart(b *testing.B) {
+	benchILPVariant(b, solve.ILPOptions{DisableWarmStart: true})
+}
+
+func BenchmarkAblationILPNoRounding(b *testing.B) {
+	benchILPVariant(b, solve.ILPOptions{DisableRounding: true})
+}
+
+func BenchmarkAblationILPNoIntegralPruning(b *testing.B) {
+	benchILPVariant(b, solve.ILPOptions{DisableIntegralPruning: true})
+}
+
+func BenchmarkAblationILPNoCuts(b *testing.B) {
+	benchILPVariant(b, solve.ILPOptions{DisableCuts: true})
+}
+
+func BenchmarkAblationILPNoStrongBranch(b *testing.B) {
+	benchILPVariant(b, solve.ILPOptions{DisableStrongBranch: true})
+}
+
+// BenchmarkAblationDelta compares H32Jump exchange granularities.
+func BenchmarkAblationDelta1(b *testing.B)  { benchDelta(b, 1) }
+func BenchmarkAblationDelta10(b *testing.B) { benchDelta(b, 10) }
+
+func benchDelta(b *testing.B, delta int) {
+	b.Helper()
+	m := fig3Instance(b)
+	opts := &heuristics.Options{Delta: delta}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heuristics.H32Jump(m, 150, opts, rng.New(uint64(i)))
+	}
+}
+
+// BenchmarkAblationDPvsILP compares the Section V-B dynamic program with
+// the general ILP on a no-shared-types instance.
+func BenchmarkAblationDP(b *testing.B) {
+	m := noSharedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.NoSharedDP(m, 150); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationILPOnNoShared(b *testing.B) {
+	m := noSharedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve.ILP(m, 150, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func noSharedModel(b *testing.B) *core.CostModel {
+	b.Helper()
+	p := &core.Problem{
+		App: core.Application{Graphs: []core.Graph{
+			core.NewChain("a", 0, 1, 0),
+			core.NewChain("b", 2, 3),
+			core.NewChain("c", 4, 5, 4),
+		}},
+		Platform: core.Platform{Machines: []core.MachineType{
+			{Throughput: 10, Cost: 10}, {Throughput: 20, Cost: 18},
+			{Throughput: 30, Cost: 25}, {Throughput: 40, Cost: 33},
+			{Throughput: 15, Cost: 12}, {Throughput: 25, Cost: 21},
+		}},
+	}
+	return core.NewCostModel(p)
+}
+
+// --- Component micro-benchmarks ----------------------------------------------
+
+// BenchmarkCostEval measures one shared-type cost evaluation on a
+// Fig3-sized instance (the heuristics' innermost operation).
+func BenchmarkCostEval(b *testing.B) {
+	m := fig3Instance(b)
+	rho := make([]int, m.J)
+	for j := range rho {
+		rho[j] = 7 * j
+	}
+	demand := make([]int64, m.Q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.CostInto(rho, demand)
+	}
+}
+
+// BenchmarkHeuristics measures each heuristic end to end on one instance.
+func BenchmarkHeuristics(b *testing.B) {
+	m := fig3Instance(b)
+	opts := &heuristics.Options{Iterations: 1000, Delta: 10}
+	for _, alg := range heuristics.WithH0() {
+		b.Run(alg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				alg.Run(m, 150, opts, rng.New(uint64(i)))
+			}
+		})
+	}
+}
+
+// BenchmarkExactILP measures one exact solve on a Fig3-sized instance.
+func BenchmarkExactILP(b *testing.B) {
+	m := fig3Instance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solve.ILP(m, 150, nil)
+		if err != nil || !res.Proven {
+			b.Fatalf("ILP failed: %v %+v", err, res)
+		}
+	}
+}
+
+// BenchmarkStreamSimulator measures the discrete-event engine on the
+// paper's worked allocation (~4200 items through 3 recipes, 7 machines).
+func BenchmarkStreamSimulator(b *testing.B) {
+	p := core.IllustratingExample()
+	m := core.NewCostModel(p)
+	res, err := solve.ILP(m, 70, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := stream.Config{Problem: p, Alloc: res.Alloc, Duration: 60, Warmup: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stream.Simulate(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicSolve measures the facade path a downstream user hits.
+func BenchmarkPublicSolve(b *testing.B) {
+	problem := rentmin.IllustratingExample()
+	problem.Target = 130
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rentmin.Solve(problem, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTargets(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"40", []int{40}, false},
+		{"40,80,120", []int{40, 80, 120}, false},
+		{" 40 , 80 ", []int{40, 80}, false},
+		{"40,,80", nil, true},
+		{"forty", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseTargets(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseTargets(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTargets(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseTargets(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command genconfig emits random problem instances as JSON, following the
+// generation methodology of Section VIII-A (initial recipe + mutated
+// alternatives, uniform machine prices and throughputs).
+//
+// Usage:
+//
+//	genconfig -o instance.json [-graphs 20] [-min-tasks 5] [-max-tasks 8]
+//	          [-mutate 0.5] [-types 5] [-cost-max 100] [-thr-min 10]
+//	          [-thr-max 100] [-target 100] [-seed 1]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"rentmin"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genconfig: ")
+
+	out := flag.String("o", "", "output file (default stdout)")
+	graphs := flag.Int("graphs", 20, "number of alternative recipes")
+	minTasks := flag.Int("min-tasks", 5, "minimum tasks in the initial recipe")
+	maxTasks := flag.Int("max-tasks", 8, "maximum tasks in the initial recipe")
+	mutate := flag.Float64("mutate", 0.5, "fraction of tasks re-typed per alternative")
+	types := flag.Int("types", 5, "number of task/machine types")
+	costMin := flag.Int("cost-min", 1, "minimum machine price")
+	costMax := flag.Int("cost-max", 100, "maximum machine price")
+	thrMin := flag.Int("thr-min", 10, "minimum machine throughput")
+	thrMax := flag.Int("thr-max", 100, "maximum machine throughput")
+	extraEdges := flag.Float64("extra-edges", 0.1, "probability of extra DAG edges")
+	target := flag.Int("target", 100, "target throughput stored in the instance")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	flag.Parse()
+
+	problem, err := rentmin.Generate(rentmin.GenConfig{
+		NumGraphs:     *graphs,
+		MinTasks:      *minTasks,
+		MaxTasks:      *maxTasks,
+		MutatePercent: *mutate,
+		NumTypes:      *types,
+		CostMin:       *costMin,
+		CostMax:       *costMax,
+		ThroughputMin: *thrMin,
+		ThroughputMax: *thrMax,
+		ExtraEdgeProb: *extraEdges,
+	}, *seed)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	problem.Target = *target
+
+	if *out == "" {
+		if err := rentmin.WriteProblem(os.Stdout, problem); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := rentmin.SaveProblem(*out, problem); err != nil {
+		log.Fatalf("save: %v", err)
+	}
+	log.Printf("wrote %s (J=%d, Q=%d, target=%d)", *out, problem.NumGraphs(), problem.NumTypes(), problem.Target)
+}

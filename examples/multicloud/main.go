@@ -1,0 +1,75 @@
+// Command multicloud demonstrates the Section V-B special case: the same
+// result can be produced on two different clouds, but a recipe running on
+// cloud A cannot share machines with a recipe on cloud B, so the recipes
+// use disjoint type sets. The pseudo-polynomial dynamic program splits the
+// target throughput across clouds optimally — often cheaper than either
+// cloud alone — and the exact ILP confirms the DP's optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rentmin"
+)
+
+func main() {
+	// Cloud A: coarse, cheap instances. Cloud B: fine-grained, pricier.
+	// Types 0..2 exist on cloud A, types 3..5 on cloud B.
+	platform := rentmin.Platform{
+		Name: "two-clouds",
+		Machines: []rentmin.MachineType{
+			{Name: "A.ingest", Throughput: 40, Cost: 22},
+			{Name: "A.compute", Throughput: 25, Cost: 30},
+			{Name: "A.publish", Throughput: 50, Cost: 12},
+			{Name: "B.ingest", Throughput: 15, Cost: 9},
+			{Name: "B.compute", Throughput: 10, Cost: 14},
+			{Name: "B.publish", Throughput: 20, Cost: 6},
+		},
+	}
+	app := rentmin.Application{
+		Name: "etl",
+		Graphs: []rentmin.Graph{
+			rentmin.NewChain("on-cloud-A", 0, 1, 2),
+			rentmin.NewChain("on-cloud-B", 3, 4, 5),
+		},
+	}
+	problem := &rentmin.Problem{App: app, Platform: platform}
+
+	fmt.Println("=== Splitting one workload across two clouds (Section V-B) ===")
+	fmt.Printf("%8s %10s %10s %12s  %s\n", "rho", "A-only", "B-only", "optimal-DP", "split(A,B)")
+	for _, target := range []int{10, 25, 40, 55, 70, 85, 100} {
+		problem.Target = target
+
+		dp, err := rentmin.SolveNoShared(problem)
+		if err != nil {
+			log.Fatalf("DP at %d: %v", target, err)
+		}
+		// Cost of forcing everything onto one cloud.
+		aOnly, err := rentmin.SolveIndependent(problem, []int{target, 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bOnly, err := rentmin.SolveIndependent(problem, []int{0, target})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Cross-check the DP against the general-purpose exact solver.
+		ilp, err := rentmin.Solve(problem, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ilp.Alloc.Cost != dp.Cost {
+			log.Fatalf("DP (%d) and ILP (%d) disagree at rho=%d", dp.Cost, ilp.Alloc.Cost, target)
+		}
+
+		fmt.Printf("%8d %10d %10d %12d  %v\n",
+			target, aOnly.Cost, bOnly.Cost, dp.Cost, dp.GraphThroughput)
+	}
+
+	fmt.Println("\nThe DP exploits both price structures: cloud A amortizes big")
+	fmt.Println("machines at high rates while cloud B fills the fractional")
+	fmt.Println("remainder with small instances — neither cloud alone is optimal")
+	fmt.Println("across the whole range.")
+}

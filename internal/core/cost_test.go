@@ -1,0 +1,167 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func exampleModel(t *testing.T) *CostModel {
+	t.Helper()
+	p := IllustratingExample()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("IllustratingExample invalid: %v", err)
+	}
+	return NewCostModel(p)
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0}, {-3, 5, 0}, {1, 5, 1}, {5, 5, 1}, {6, 5, 2}, {10, 5, 2}, {11, 5, 3},
+		{1, 1, 1}, {999, 1000, 1}, {1000, 1000, 1}, {1001, 1000, 2},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestPaperRho70 reproduces the worked example of Section VII: for
+// (ρ1,ρ2,ρ3) = (10,30,30) the platform needs 3×P1, 2×P2, 1×P3, 1×P4 for a
+// total cost of 124.
+func TestPaperRho70(t *testing.T) {
+	m := exampleModel(t)
+	rho := []int{10, 30, 30}
+	x := m.Machines(rho)
+	want := []int{3, 2, 1, 1}
+	if !reflect.DeepEqual(x, want) {
+		t.Fatalf("Machines(%v) = %v, want %v", rho, x, want)
+	}
+	if cost := m.Cost(rho); cost != 124 {
+		t.Fatalf("Cost(%v) = %d, want 124", rho, cost)
+	}
+}
+
+// TestPaperSingleGraphCosts checks H1-style solo costs that appear in
+// Table III: at ρ=10 graph phi3 costs 28, at ρ=120 graph phi2 costs 199.
+func TestPaperSingleGraphCosts(t *testing.T) {
+	m := exampleModel(t)
+	cases := []struct {
+		j, rho int
+		want   int64
+	}{
+		{2, 10, 28},   // phi3 at 10: 1×P1 + 1×P2 = 10+18
+		{2, 20, 38},   // 2×P1 + 1×P2 = 20+18
+		{1, 30, 58},   // phi2 at 30: 1×P3 + 1×P4 = 25+33
+		{0, 40, 69},   // phi1 at 40: 2×P2 + 1×P4 = 36+33
+		{1, 120, 199}, // 4×P3 + 3×P4 = 100+99
+		{1, 150, 257}, // 5×P3 + 4×P4 = 125+132
+	}
+	for _, c := range cases {
+		if got := m.SingleGraphCost(c.j, c.rho); got != c.want {
+			t.Errorf("SingleGraphCost(%d,%d) = %d, want %d", c.j, c.rho, got, c.want)
+		}
+	}
+}
+
+func TestBestSingleGraphMatchesH1Column(t *testing.T) {
+	m := exampleModel(t)
+	// From Table III's H1 column: target -> cost.
+	want := map[int]int64{
+		10: 28, 20: 38, 30: 58, 40: 69, 50: 104, 60: 114, 70: 138, 80: 138,
+		90: 174, 100: 189, 110: 199, 120: 199, 130: 256, 140: 257, 150: 257,
+		160: 276, 170: 315, 180: 315, 190: 340, 200: 340,
+	}
+	for rho, wc := range want {
+		if _, got := m.BestSingleGraph(rho); got != wc {
+			t.Errorf("BestSingleGraph(%d) cost = %d, want %d", rho, got, wc)
+		}
+	}
+}
+
+func TestCostZeroThroughput(t *testing.T) {
+	m := exampleModel(t)
+	if got := m.Cost([]int{0, 0, 0}); got != 0 {
+		t.Errorf("Cost(0,0,0) = %d, want 0", got)
+	}
+	if x := m.Machines([]int{0, 0, 0}); !reflect.DeepEqual(x, []int{0, 0, 0, 0}) {
+		t.Errorf("Machines(0,0,0) = %v, want zeros", x)
+	}
+}
+
+func TestNewAllocationAndCheckFeasible(t *testing.T) {
+	m := exampleModel(t)
+	a := m.NewAllocation([]int{10, 30, 30})
+	if a.Cost != 124 {
+		t.Fatalf("allocation cost = %d, want 124", a.Cost)
+	}
+	if err := m.CheckFeasible(a, 70); err != nil {
+		t.Errorf("CheckFeasible: %v", err)
+	}
+	if err := m.CheckFeasible(a, 71); err == nil {
+		t.Error("CheckFeasible accepted allocation below target")
+	}
+	// Remove one machine of a loaded type: must become infeasible.
+	b := a.Clone()
+	b.Machines[0]--
+	b.Cost -= m.C[0]
+	if err := m.CheckFeasible(b, 70); err == nil {
+		t.Error("CheckFeasible accepted under-provisioned machines")
+	}
+	// Corrupt stored cost.
+	c := a.Clone()
+	c.Cost++
+	if err := m.CheckFeasible(c, 70); err == nil {
+		t.Error("CheckFeasible accepted wrong stored cost")
+	}
+	// Negative throughput.
+	d := a.Clone()
+	d.GraphThroughput[0] = -1
+	if err := m.CheckFeasible(d, 0); err == nil {
+		t.Error("CheckFeasible accepted negative throughput")
+	}
+}
+
+func TestUnitRate(t *testing.T) {
+	m := exampleModel(t)
+	// phi3 uses types P1 (c/r = 1.0) and P2 (18/20 = 0.9): rate 1.9.
+	if got, want := m.UnitRate[2], 1.9; !almostEqual(got, want) {
+		t.Errorf("UnitRate[2] = %g, want %g", got, want)
+	}
+	// phi1: P2 (0.9) + P4 (33/40 = 0.825) = 1.725.
+	if got, want := m.UnitRate[0], 1.725; !almostEqual(got, want) {
+		t.Errorf("UnitRate[0] = %g, want %g", got, want)
+	}
+}
+
+func almostEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestDemandsSharedTypes(t *testing.T) {
+	// Two graphs sharing type 0: demands must add up.
+	p := &Problem{
+		App: Application{Graphs: []Graph{
+			NewChain("a", 0, 0, 1),
+			NewChain("b", 0, 1),
+		}},
+		Platform: Platform{Machines: []MachineType{
+			{Throughput: 5, Cost: 3}, {Throughput: 7, Cost: 2},
+		}},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	m := NewCostModel(p)
+	demand := make([]int64, 2)
+	m.Demands([]int{4, 6}, demand)
+	// type0: 2*4 + 1*6 = 14; type1: 1*4 + 1*6 = 10.
+	if demand[0] != 14 || demand[1] != 10 {
+		t.Errorf("demands = %v, want [14 10]", demand)
+	}
+	// x0 = ceil(14/5) = 3, x1 = ceil(10/7) = 2, cost = 9 + 4 = 13.
+	if cost := m.Cost([]int{4, 6}); cost != 13 {
+		t.Errorf("Cost = %d, want 13", cost)
+	}
+}

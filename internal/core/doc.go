@@ -1,0 +1,17 @@
+// Package core defines the application and platform model of the paper
+// "Minimizing Rental Cost for Multiple Recipe Applications in the Cloud"
+// (Hanna et al., IPDPS Workshops 2016).
+//
+// A streaming application is described by a set of alternative recipe
+// graphs (DAGs of typed tasks). The cloud platform offers one machine
+// (processor) type per task type, with an integer throughput (tasks per
+// time unit) and an integer hourly cost. An allocation picks an integer
+// throughput for every graph and rents enough machines of every type so
+// that the sum of the graph throughputs reaches a target.
+//
+// The package provides the data model, validation, and the shared-type
+// cost evaluation used by every solver and heuristic in this module:
+//
+//	x_q = ceil( Σ_j n_jq·ρ_j / r_q )        machines of type q
+//	C   = Σ_q x_q·c_q                        hourly rental cost
+package core

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadProblem decodes a Problem from JSON and validates it.
+func ReadProblem(r io.Reader) (*Problem, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Problem
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("decode problem: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid problem: %w", err)
+	}
+	return &p, nil
+}
+
+// WriteProblem encodes a Problem as indented JSON.
+func WriteProblem(w io.Writer, p *Problem) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadProblemFile reads and validates a Problem from a JSON file.
+func LoadProblemFile(path string) (*Problem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadProblem(f)
+}
+
+// SaveProblemFile writes a Problem to a JSON file.
+func SaveProblemFile(path string, p *Problem) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteProblem(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

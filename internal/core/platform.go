@@ -1,0 +1,48 @@
+package core
+
+import "fmt"
+
+// MachineType describes one cloud instance type. The paper's dedicated
+// resource model maps machine type q one-to-one to task type q: tasks of
+// type q run only on machines of type q and such machines run nothing else.
+type MachineType struct {
+	Name string `json:"name,omitempty"`
+	// Throughput is r_q: tasks of type q processed per time unit by one
+	// machine. Must be >= 1 (integer per the paper's model).
+	Throughput int `json:"throughput"`
+	// Cost is c_q: hourly rental price of one machine. Must be >= 0.
+	Cost int `json:"cost"`
+}
+
+// Platform is the set of machine types offered by the cloud(s). Its length
+// is Q, the number of task types.
+type Platform struct {
+	Name     string        `json:"name,omitempty"`
+	Machines []MachineType `json:"machines"`
+}
+
+// NumTypes returns Q.
+func (p Platform) NumTypes() int { return len(p.Machines) }
+
+// Validate checks throughput and cost ranges.
+func (p Platform) Validate() error {
+	if len(p.Machines) == 0 {
+		return fmt.Errorf("platform %q: no machine types", p.Name)
+	}
+	for q, m := range p.Machines {
+		if m.Throughput <= 0 {
+			return fmt.Errorf("platform %q: machine type %d has non-positive throughput %d", p.Name, q, m.Throughput)
+		}
+		if m.Cost < 0 {
+			return fmt.Errorf("platform %q: machine type %d has negative cost %d", p.Name, q, m.Cost)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the platform.
+func (p Platform) Clone() Platform {
+	c := p
+	c.Machines = append([]MachineType(nil), p.Machines...)
+	return c
+}

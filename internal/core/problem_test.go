@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestIllustratingExampleShape(t *testing.T) {
+	p := IllustratingExample()
+	if p.NumGraphs() != 3 {
+		t.Fatalf("NumGraphs = %d, want 3", p.NumGraphs())
+	}
+	if p.NumTypes() != 4 {
+		t.Fatalf("NumTypes = %d, want 4", p.NumTypes())
+	}
+	m := NewCostModel(p)
+	// Figure 2: phi1 uses {t2,t4}, phi2 {t3,t4}, phi3 {t1,t2} (1-based).
+	wantN := [][]int{
+		{0, 1, 0, 1},
+		{0, 0, 1, 1},
+		{1, 1, 0, 0},
+	}
+	for j, row := range wantN {
+		for q, n := range row {
+			if m.N[j][q] != n {
+				t.Errorf("N[%d][%d] = %d, want %d", j, q, m.N[j][q], n)
+			}
+		}
+	}
+}
+
+func TestProblemValidateErrors(t *testing.T) {
+	base := IllustratingExample()
+	t.Run("no graphs", func(t *testing.T) {
+		p := base.Clone()
+		p.App.Graphs = nil
+		if err := p.Validate(); err == nil {
+			t.Error("accepted problem without graphs")
+		}
+	})
+	t.Run("no machines", func(t *testing.T) {
+		p := base.Clone()
+		p.Platform.Machines = nil
+		if err := p.Validate(); err == nil {
+			t.Error("accepted problem without machines")
+		}
+	})
+	t.Run("zero throughput machine", func(t *testing.T) {
+		p := base.Clone()
+		p.Platform.Machines[0].Throughput = 0
+		if err := p.Validate(); err == nil {
+			t.Error("accepted zero-throughput machine")
+		}
+	})
+	t.Run("negative cost", func(t *testing.T) {
+		p := base.Clone()
+		p.Platform.Machines[1].Cost = -1
+		if err := p.Validate(); err == nil {
+			t.Error("accepted negative cost")
+		}
+	})
+	t.Run("task type out of range", func(t *testing.T) {
+		p := base.Clone()
+		p.App.Graphs[0].Tasks[0].Type = 99
+		if err := p.Validate(); err == nil {
+			t.Error("accepted out-of-range task type")
+		}
+	})
+	t.Run("negative target", func(t *testing.T) {
+		p := base.Clone()
+		p.Target = -5
+		if err := p.Validate(); err == nil {
+			t.Error("accepted negative target")
+		}
+	})
+}
+
+func TestProblemCloneIndependence(t *testing.T) {
+	p := IllustratingExample()
+	c := p.Clone()
+	c.App.Graphs[0].Tasks[0].Type = 3
+	c.Platform.Machines[0].Cost = 999
+	if p.App.Graphs[0].Tasks[0].Type == 3 {
+		t.Error("Clone shares graph storage")
+	}
+	if p.Platform.Machines[0].Cost == 999 {
+		t.Error("Clone shares platform storage")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := IllustratingExample()
+	p.Target = 70
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, p); err != nil {
+		t.Fatalf("WriteProblem: %v", err)
+	}
+	q, err := ReadProblem(&buf)
+	if err != nil {
+		t.Fatalf("ReadProblem: %v", err)
+	}
+	if q.Target != 70 || q.NumGraphs() != 3 || q.NumTypes() != 4 {
+		t.Errorf("round trip mismatch: %+v", q)
+	}
+	if q.App.Graphs[0].Tasks[1].Type != p.App.Graphs[0].Tasks[1].Type {
+		t.Error("task types lost in round trip")
+	}
+	if len(q.App.Graphs[0].Edges) != len(p.App.Graphs[0].Edges) {
+		t.Error("edges lost in round trip")
+	}
+}
+
+func TestReadProblemRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"unknown field": `{"bogus": 1}`,
+		"invalid model": `{"application":{"graphs":[]},"platform":{"machines":[]},"target_throughput":10}`,
+		"negative r":    `{"application":{"graphs":[{"tasks":[{"id":0,"type":0}]}]},"platform":{"machines":[{"throughput":-1,"cost":1}]},"target_throughput":10}`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadProblem(strings.NewReader(body)); err == nil {
+				t.Errorf("ReadProblem accepted %s", name)
+			}
+		})
+	}
+}
+
+func TestProblemFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "problem.json")
+	p := IllustratingExample()
+	p.Target = 50
+	if err := SaveProblemFile(path, p); err != nil {
+		t.Fatalf("SaveProblemFile: %v", err)
+	}
+	q, err := LoadProblemFile(path)
+	if err != nil {
+		t.Fatalf("LoadProblemFile: %v", err)
+	}
+	if q.Target != 50 {
+		t.Errorf("target = %d, want 50", q.Target)
+	}
+	if _, err := LoadProblemFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadProblemFile accepted missing file")
+	}
+}

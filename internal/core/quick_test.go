@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomModel builds a small random problem from a seed.
+func randomModel(r *rand.Rand) (*CostModel, *Problem) {
+	q := 1 + r.Intn(6)
+	j := 1 + r.Intn(5)
+	p := &Problem{Platform: Platform{Machines: make([]MachineType, q)}}
+	for i := range p.Platform.Machines {
+		p.Platform.Machines[i] = MachineType{Throughput: 1 + r.Intn(50), Cost: 1 + r.Intn(100)}
+	}
+	for g := 0; g < j; g++ {
+		n := 1 + r.Intn(6)
+		types := make([]int, n)
+		for i := range types {
+			types[i] = r.Intn(q)
+		}
+		p.App.Graphs = append(p.App.Graphs, NewChain("", types...))
+	}
+	return NewCostModel(p), p
+}
+
+// Property: cost is monotone non-decreasing when any single graph
+// throughput increases.
+func TestQuickCostMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _ := randomModel(r)
+		rho := make([]int, m.J)
+		for i := range rho {
+			rho[i] = r.Intn(100)
+		}
+		base := m.Cost(rho)
+		j := r.Intn(m.J)
+		rho[j] += 1 + r.Intn(20)
+		return m.Cost(rho) >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost is subadditive across splits of the same throughput
+// vector: C(a+b) <= C(a) + C(b) (ceilings only help when merged).
+func TestQuickCostSubadditive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _ := randomModel(r)
+		a := make([]int, m.J)
+		b := make([]int, m.J)
+		sum := make([]int, m.J)
+		for i := range a {
+			a[i] = r.Intn(60)
+			b[i] = r.Intn(60)
+			sum[i] = a[i] + b[i]
+		}
+		return m.Cost(sum) <= m.Cost(a)+m.Cost(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NewAllocation always passes CheckFeasible at its own total
+// throughput, and machine counts are minimal (removing one machine of any
+// used type breaks feasibility).
+func TestQuickAllocationTightAndFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _ := randomModel(r)
+		rho := make([]int, m.J)
+		for i := range rho {
+			rho[i] = r.Intn(80)
+		}
+		a := m.NewAllocation(rho)
+		if err := m.CheckFeasible(a, a.TotalThroughput()); err != nil {
+			return false
+		}
+		for q := 0; q < m.Q; q++ {
+			if a.Machines[q] == 0 {
+				continue
+			}
+			b := a.Clone()
+			b.Machines[q]--
+			b.Cost -= m.C[q]
+			if err := m.CheckFeasible(b, a.TotalThroughput()); err == nil {
+				return false // one fewer machine should not stay feasible
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SingleGraphCost(j, rho) equals Cost of the vector that puts
+// everything on graph j.
+func TestQuickSingleGraphConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _ := randomModel(r)
+		rho := r.Intn(200)
+		j := r.Intn(m.J)
+		vec := make([]int, m.J)
+		vec[j] = rho
+		return m.SingleGraphCost(j, rho) == m.Cost(vec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling throughput by k scales cost by at most k (ceilings
+// make small rhos relatively more expensive per unit).
+func TestQuickCostScalingBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, _ := randomModel(r)
+		rho := make([]int, m.J)
+		scaled := make([]int, m.J)
+		k := 2 + r.Intn(4)
+		for i := range rho {
+			rho[i] = r.Intn(40)
+			scaled[i] = k * rho[i]
+		}
+		return m.Cost(scaled) <= int64(k)*m.Cost(rho)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generated topological orders respect every edge for random
+// layered DAGs.
+func TestQuickTopoOrderRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		g := Graph{Tasks: make([]Task, n)}
+		for i := range g.Tasks {
+			g.Tasks[i] = Task{ID: i, Type: 0}
+		}
+		// Random forward edges only: acyclic by construction.
+		for i := 0; i < n; i++ {
+			for k := i + 1; k < n; k++ {
+				if r.Intn(4) == 0 {
+					g.Edges = append(g.Edges, Edge{From: i, To: k})
+				}
+			}
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, e := range g.Edges {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metric selects which aggregate a report shows.
+type Metric int8
+
+// Report metrics, one per figure family.
+const (
+	// MetricNormalized is opt/cost (Figures 3, 6, 7).
+	MetricNormalized Metric = iota
+	// MetricBestCount is the number of configurations won (Figure 4).
+	MetricBestCount
+	// MetricSeconds is mean wall-clock time (Figures 5, 8).
+	MetricSeconds
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricNormalized:
+		return "normalized-cost"
+	case MetricBestCount:
+		return "best-count"
+	case MetricSeconds:
+		return "time-seconds"
+	}
+	return fmt.Sprintf("Metric(%d)", int8(m))
+}
+
+func (r *SweepResult) value(a *AlgoResult, metric Metric, ti int) string {
+	switch metric {
+	case MetricNormalized:
+		return strconv.FormatFloat(a.MeanNormalized[ti], 'f', 4, 64)
+	case MetricBestCount:
+		return strconv.Itoa(a.BestCount[ti])
+	case MetricSeconds:
+		return strconv.FormatFloat(a.MeanSeconds[ti], 'e', 3, 64)
+	}
+	return "?"
+}
+
+// FormatTable renders one metric as an aligned text table: one row per
+// target, one column per algorithm.
+func (r *SweepResult) FormatTable(metric Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s (%s)\n", r.Setting.Name, metric, r.Setting.Description)
+	fmt.Fprintf(&b, "# %d configurations, seed %#x\n", r.Setting.Configs, r.Setting.Seed)
+	fmt.Fprintf(&b, "%8s", "rho")
+	for _, a := range r.Algos {
+		fmt.Fprintf(&b, " %12s", a.Name)
+	}
+	if metric == MetricSeconds {
+		fmt.Fprintf(&b, " %12s", "ILP-proven")
+	}
+	b.WriteString("\n")
+	for ti, target := range r.Targets {
+		fmt.Fprintf(&b, "%8d", target)
+		for i := range r.Algos {
+			fmt.Fprintf(&b, " %12s", r.value(&r.Algos[i], metric, ti))
+		}
+		if metric == MetricSeconds {
+			fmt.Fprintf(&b, " %9d/%d", r.ILPProven[ti], r.Setting.Configs)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteCSV emits every metric in long form:
+// setting,metric,target,algorithm,value.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"setting", "metric", "target", "algorithm", "value"}); err != nil {
+		return err
+	}
+	for _, metric := range []Metric{MetricNormalized, MetricBestCount, MetricSeconds} {
+		for ti, target := range r.Targets {
+			for i := range r.Algos {
+				rec := []string{
+					r.Setting.Name,
+					metric.String(),
+					strconv.Itoa(target),
+					r.Algos[i].Name,
+					r.value(&r.Algos[i], metric, ti),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for ti, target := range r.Targets {
+		rec := []string{r.Setting.Name, "ilp-proven", strconv.Itoa(target), ilpName, strconv.Itoa(r.ILPProven[ti])}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,150 @@
+// Package graphgen generates random problem instances following the
+// methodology of Section VIII-A of the paper:
+//
+//   - an initial recipe graph is drawn with a random number of tasks and
+//     uniformly random task types;
+//   - the alternative graphs are derived from the initial graph by
+//     re-typing a fixed percentage of its tasks (the paper found fully
+//     independent random graphs degenerate — one graph dominates — so
+//     alternatives share structure with the initial recipe);
+//   - the cloud offers one machine type per task type with uniformly
+//     random throughput and price.
+//
+// Edges form a random connected DAG (a random forward tree plus extra
+// forward edges). Edges do not influence rental costs (the model ignores
+// communication) but drive the discrete-event stream simulator.
+package graphgen
+
+import (
+	"fmt"
+
+	"rentmin/internal/core"
+	"rentmin/internal/rng"
+)
+
+// Config describes one experimental setting. The exported fields mirror
+// the knobs listed in Section VIII-A.
+type Config struct {
+	// NumGraphs is J, the number of alternative recipes.
+	NumGraphs int
+	// MinTasks and MaxTasks bound the size of the initial graph.
+	MinTasks, MaxTasks int
+	// MutatePercent is the fraction (0..1] of tasks re-typed in each
+	// alternative graph (the paper uses 0.3 and 0.5).
+	MutatePercent float64
+	// NumTypes is Q, the number of task/machine types.
+	NumTypes int
+	// CostMin and CostMax bound machine prices (paper: 1..100).
+	CostMin, CostMax int
+	// ThroughputMin and ThroughputMax bound machine throughputs.
+	ThroughputMin, ThroughputMax int
+	// ExtraEdgeProb is the probability of adding each optional forward
+	// edge on top of the random spanning tree. Zero gives sparse DAGs.
+	ExtraEdgeProb float64
+}
+
+// Validate checks the configuration ranges.
+func (c Config) Validate() error {
+	switch {
+	case c.NumGraphs < 1:
+		return fmt.Errorf("graphgen: NumGraphs %d < 1", c.NumGraphs)
+	case c.MinTasks < 1:
+		return fmt.Errorf("graphgen: MinTasks %d < 1", c.MinTasks)
+	case c.MaxTasks < c.MinTasks:
+		return fmt.Errorf("graphgen: MaxTasks %d < MinTasks %d", c.MaxTasks, c.MinTasks)
+	case c.MutatePercent < 0 || c.MutatePercent > 1:
+		return fmt.Errorf("graphgen: MutatePercent %g outside [0,1]", c.MutatePercent)
+	case c.NumTypes < 1:
+		return fmt.Errorf("graphgen: NumTypes %d < 1", c.NumTypes)
+	case c.CostMin < 0 || c.CostMax < c.CostMin:
+		return fmt.Errorf("graphgen: cost range [%d,%d] invalid", c.CostMin, c.CostMax)
+	case c.ThroughputMin < 1 || c.ThroughputMax < c.ThroughputMin:
+		return fmt.Errorf("graphgen: throughput range [%d,%d] invalid", c.ThroughputMin, c.ThroughputMax)
+	case c.ExtraEdgeProb < 0 || c.ExtraEdgeProb > 1:
+		return fmt.Errorf("graphgen: ExtraEdgeProb %g outside [0,1]", c.ExtraEdgeProb)
+	}
+	return nil
+}
+
+// Generate draws a full problem instance (application and platform).
+// The target throughput is left at zero for the caller to set.
+func Generate(cfg Config, src *rng.Source) (*core.Problem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &core.Problem{}
+	p.Platform = GeneratePlatform(cfg, src.Sub('p'))
+	initial := generateInitialGraph(cfg, src.Sub('g', 0))
+	p.App.Name = "generated"
+	p.App.Graphs = append(p.App.Graphs, initial)
+	for j := 1; j < cfg.NumGraphs; j++ {
+		p.App.Graphs = append(p.App.Graphs, mutateGraph(initial, cfg, src.Sub('g', uint64(j))))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("graphgen: generated invalid problem: %w", err)
+	}
+	return p, nil
+}
+
+// GeneratePlatform draws the cloud: one machine type per task type with
+// uniform throughput and price.
+func GeneratePlatform(cfg Config, src *rng.Source) core.Platform {
+	pf := core.Platform{Name: "generated-cloud", Machines: make([]core.MachineType, cfg.NumTypes)}
+	for q := range pf.Machines {
+		pf.Machines[q] = core.MachineType{
+			Name:       fmt.Sprintf("P%d", q+1),
+			Throughput: src.IntBetween(cfg.ThroughputMin, cfg.ThroughputMax),
+			Cost:       src.IntBetween(cfg.CostMin, cfg.CostMax),
+		}
+	}
+	return pf
+}
+
+// generateInitialGraph draws the initial recipe: random size, random
+// types, random connected forward DAG.
+func generateInitialGraph(cfg Config, src *rng.Source) core.Graph {
+	n := src.IntBetween(cfg.MinTasks, cfg.MaxTasks)
+	g := core.Graph{Name: "phi1", Tasks: make([]core.Task, n)}
+	for i := 0; i < n; i++ {
+		g.Tasks[i] = core.Task{ID: i, Type: src.IntN(cfg.NumTypes)}
+	}
+	// Random spanning structure: every non-root task gets one incoming
+	// edge from an earlier task, keeping the DAG connected and acyclic.
+	for i := 1; i < n; i++ {
+		g.Edges = append(g.Edges, core.Edge{From: src.IntN(i), To: i})
+	}
+	if cfg.ExtraEdgeProb > 0 {
+		for i := 0; i < n; i++ {
+			for k := i + 1; k < n; k++ {
+				if src.Bool(cfg.ExtraEdgeProb) {
+					g.Edges = append(g.Edges, core.Edge{From: i, To: k})
+				}
+			}
+		}
+	}
+	return g
+}
+
+// mutateGraph derives an alternative recipe: same structure, with
+// ceil(MutatePercent·n) tasks re-typed (to a different type when Q > 1).
+func mutateGraph(initial core.Graph, cfg Config, src *rng.Source) core.Graph {
+	g := initial.Clone()
+	g.Name = fmt.Sprintf("alt-%d", src.Seed()&0xffff)
+	n := len(g.Tasks)
+	k := int(float64(n)*cfg.MutatePercent + 0.999999)
+	if k > n {
+		k = n
+	}
+	for _, idx := range src.PickDistinct(k, n) {
+		if cfg.NumTypes == 1 {
+			break
+		}
+		old := g.Tasks[idx].Type
+		t := src.IntN(cfg.NumTypes - 1)
+		if t >= old {
+			t++
+		}
+		g.Tasks[idx].Type = t
+	}
+	return g
+}

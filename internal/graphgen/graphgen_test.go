@@ -1,0 +1,207 @@
+package graphgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rentmin/internal/rng"
+)
+
+func smallConfig() Config {
+	return Config{
+		NumGraphs:     20,
+		MinTasks:      5,
+		MaxTasks:      8,
+		MutatePercent: 0.5,
+		NumTypes:      5,
+		CostMin:       1,
+		CostMax:       100,
+		ThroughputMin: 10,
+		ThroughputMax: 100,
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	p, err := Generate(smallConfig(), rng.New(1))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("generated problem invalid: %v", err)
+	}
+	if p.NumGraphs() != 20 {
+		t.Errorf("J = %d, want 20", p.NumGraphs())
+	}
+	if p.NumTypes() != 5 {
+		t.Errorf("Q = %d, want 5", p.NumTypes())
+	}
+	for j, g := range p.App.Graphs {
+		if n := len(g.Tasks); n < 5 || n > 8 {
+			t.Errorf("graph %d has %d tasks, want 5..8", j, n)
+		}
+	}
+	for q, mt := range p.Platform.Machines {
+		if mt.Throughput < 10 || mt.Throughput > 100 {
+			t.Errorf("machine %d throughput %d outside [10,100]", q, mt.Throughput)
+		}
+		if mt.Cost < 1 || mt.Cost > 100 {
+			t.Errorf("machine %d cost %d outside [1,100]", q, mt.Cost)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.App.Graphs {
+		for i := range a.App.Graphs[j].Tasks {
+			if a.App.Graphs[j].Tasks[i].Type != b.App.Graphs[j].Tasks[i].Type {
+				t.Fatalf("graph %d task %d differs between equal seeds", j, i)
+			}
+		}
+	}
+	for q := range a.Platform.Machines {
+		if a.Platform.Machines[q] != b.Platform.Machines[q] {
+			t.Fatalf("machine %d differs between equal seeds", q)
+		}
+	}
+}
+
+func TestAlternativesShareStructureWithInitial(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MutatePercent = 0.3
+	cfg.MinTasks, cfg.MaxTasks = 10, 10
+	p, err := Generate(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := p.App.Graphs[0]
+	for j := 1; j < p.NumGraphs(); j++ {
+		alt := p.App.Graphs[j]
+		if len(alt.Tasks) != len(initial.Tasks) {
+			t.Fatalf("alternative %d has %d tasks, initial has %d", j, len(alt.Tasks), len(initial.Tasks))
+		}
+		if len(alt.Edges) != len(initial.Edges) {
+			t.Fatalf("alternative %d edge count differs", j)
+		}
+		changed := 0
+		for i := range alt.Tasks {
+			if alt.Tasks[i].Type != initial.Tasks[i].Type {
+				changed++
+			}
+		}
+		// ceil(0.3*10) = 3 tasks re-typed, all to different types.
+		if changed != 3 {
+			t.Errorf("alternative %d changed %d tasks, want exactly 3", j, changed)
+		}
+	}
+}
+
+func TestMutatePercentFull(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MutatePercent = 1.0
+	cfg.MinTasks, cfg.MaxTasks = 6, 6
+	p, err := Generate(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := p.App.Graphs[0]
+	for j := 1; j < p.NumGraphs(); j++ {
+		for i := range p.App.Graphs[j].Tasks {
+			if p.App.Graphs[j].Tasks[i].Type == initial.Tasks[i].Type {
+				t.Fatalf("alternative %d task %d kept its type despite 100%% mutation", j, i)
+			}
+		}
+	}
+}
+
+func TestSingleTypeMutationIsNoop(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumTypes = 1
+	cfg.MutatePercent = 1.0
+	p, err := Generate(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range p.App.Graphs {
+		for _, task := range g.Tasks {
+			if task.Type != 0 {
+				t.Fatal("single-type config produced non-zero type")
+			}
+		}
+	}
+}
+
+func TestExtraEdgesStillAcyclic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ExtraEdgeProb = 0.5
+	cfg.MinTasks, cfg.MaxTasks = 20, 30
+	p, err := Generate(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, g := range p.App.Graphs {
+		if _, err := g.TopoOrder(); err != nil {
+			t.Errorf("graph %d cyclic: %v", j, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{NumGraphs: 1, MinTasks: 0, MaxTasks: 5, NumTypes: 2, CostMin: 1, CostMax: 2, ThroughputMin: 1, ThroughputMax: 2},
+		{NumGraphs: 1, MinTasks: 5, MaxTasks: 4, NumTypes: 2, CostMin: 1, CostMax: 2, ThroughputMin: 1, ThroughputMax: 2},
+		{NumGraphs: 1, MinTasks: 1, MaxTasks: 2, MutatePercent: 1.5, NumTypes: 2, CostMin: 1, CostMax: 2, ThroughputMin: 1, ThroughputMax: 2},
+		{NumGraphs: 1, MinTasks: 1, MaxTasks: 2, NumTypes: 0, CostMin: 1, CostMax: 2, ThroughputMin: 1, ThroughputMax: 2},
+		{NumGraphs: 1, MinTasks: 1, MaxTasks: 2, NumTypes: 2, CostMin: 5, CostMax: 2, ThroughputMin: 1, ThroughputMax: 2},
+		{NumGraphs: 1, MinTasks: 1, MaxTasks: 2, NumTypes: 2, CostMin: 1, CostMax: 2, ThroughputMin: 0, ThroughputMax: 2},
+		{NumGraphs: 1, MinTasks: 1, MaxTasks: 2, NumTypes: 2, CostMin: 1, CostMax: 2, ThroughputMin: 3, ThroughputMax: 2},
+		{NumGraphs: 1, MinTasks: 1, MaxTasks: 2, NumTypes: 2, CostMin: 1, CostMax: 2, ThroughputMin: 1, ThroughputMax: 2, ExtraEdgeProb: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, rng.New(1)); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// Property: generation never produces an invalid problem for valid
+// configurations.
+func TestQuickGeneratedProblemsValid(t *testing.T) {
+	f := func(seed uint64, jRaw, tasksRaw, typesRaw uint8, mutate float64) bool {
+		cfg := Config{
+			NumGraphs:     1 + int(jRaw%10),
+			MinTasks:      1 + int(tasksRaw%5),
+			MaxTasks:      1 + int(tasksRaw%5) + int(jRaw%7),
+			MutatePercent: clamp01(mutate),
+			NumTypes:      1 + int(typesRaw%8),
+			CostMin:       1, CostMax: 100,
+			ThroughputMin: 1, ThroughputMax: 50,
+		}
+		p, err := Generate(cfg, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x != x || x < 0 { // NaN or negative
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

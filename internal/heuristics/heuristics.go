@@ -1,0 +1,253 @@
+// Package heuristics implements the six polynomial heuristics of
+// Section VI of the paper for the general shared-type allocation problem:
+//
+//	H0       random throughput split
+//	H1       best single graph
+//	H2       random walk from the H1 solution
+//	H31      stochastic descent
+//	H32      steepest gradient descent
+//	H32Jump  steepest gradient with random restarts (jumps)
+//
+// All heuristics maintain Σ_j ρ_j == target invariantly: every move
+// transfers throughput between two graphs. Costs are evaluated
+// incrementally in O(Q) per candidate move via a demand-tracking state,
+// rather than O(J·Q) from scratch.
+package heuristics
+
+import (
+	"rentmin/internal/core"
+	"rentmin/internal/rng"
+)
+
+// Options tunes the iterative heuristics. The zero value picks defaults.
+type Options struct {
+	// Iterations caps the number of exchange steps of H2, H31 and of each
+	// descent inside H32Jump. Zero means 1000.
+	Iterations int
+	// Patience stops H31 after this many consecutive non-improving
+	// iterations. Zero means 100.
+	Patience int
+	// Delta is the throughput quantum moved per exchange. Zero derives
+	// max(1, target/20), matching the granularity of the paper's sweeps.
+	Delta int
+	// Jumps is the number of random restarts of H32Jump. Zero means 15.
+	Jumps int
+	// JumpLength is the number of blind random exchanges applied at each
+	// jump. Zero means 3.
+	JumpLength int
+}
+
+func (o *Options) iterations() int {
+	if o == nil || o.Iterations == 0 {
+		return 1000
+	}
+	return o.Iterations
+}
+
+func (o *Options) patience() int {
+	if o == nil || o.Patience == 0 {
+		return 100
+	}
+	return o.Patience
+}
+
+func (o *Options) delta(target int) int {
+	if o == nil || o.Delta == 0 {
+		if d := target / 20; d > 1 {
+			return d
+		}
+		return 1
+	}
+	return o.Delta
+}
+
+func (o *Options) jumps() int {
+	if o == nil || o.Jumps == 0 {
+		return 15
+	}
+	return o.Jumps
+}
+
+func (o *Options) jumpLength() int {
+	if o == nil || o.JumpLength == 0 {
+		return 3
+	}
+	return o.JumpLength
+}
+
+// H0 splits the target uniformly at random across the graphs
+// (Section VI-a): the split is drawn uniformly from all compositions of
+// target into J non-negative parts.
+func H0(m *core.CostModel, target int, src *rng.Source) core.Allocation {
+	rho := make([]int, m.J)
+	if m.J == 1 || target == 0 {
+		if m.J >= 1 {
+			rho[0] = target
+		}
+		return m.NewAllocation(rho)
+	}
+	// Stars and bars: J-1 uniform cuts in [0, target], sorted.
+	cuts := make([]int, m.J-1)
+	for i := range cuts {
+		cuts[i] = src.IntBetween(0, target)
+	}
+	sortInts(cuts)
+	prev := 0
+	for i, c := range cuts {
+		rho[i] = c - prev
+		prev = c
+	}
+	rho[m.J-1] = target - prev
+	return m.NewAllocation(rho)
+}
+
+// H1 picks the single graph with the cheapest solo cost at the target
+// throughput (Section VI-b). Complexity O(J·Q).
+func H1(m *core.CostModel, target int) core.Allocation {
+	j, _ := m.BestSingleGraph(target)
+	rho := make([]int, m.J)
+	rho[j] = target
+	return m.NewAllocation(rho)
+}
+
+// H2 is the random walk of Section VI-c: starting from the H1 solution it
+// repeatedly moves a quantum of throughput between two random graphs,
+// always accepting the move, and returns the best solution encountered.
+func H2(m *core.CostModel, target int, opts *Options, src *rng.Source) core.Allocation {
+	s := newState(m, h1Rho(m, target))
+	best := s.snapshot()
+	if m.J < 2 {
+		return best
+	}
+	delta := opts.delta(target)
+	for it := 0; it < opts.iterations(); it++ {
+		j1, j2 := pickPair(m.J, src)
+		s.move(j1, j2, delta)
+		if s.cost < best.Cost {
+			best = s.snapshot()
+		}
+	}
+	return best
+}
+
+// H31 is the stochastic descent of Section VI-d: like H2 but a move is
+// kept only when it improves the current solution. It stops after the
+// iteration budget or Patience consecutive non-improving draws.
+func H31(m *core.CostModel, target int, opts *Options, src *rng.Source) core.Allocation {
+	s := newState(m, h1Rho(m, target))
+	best := s.snapshot()
+	if m.J < 2 {
+		return best
+	}
+	delta := opts.delta(target)
+	stale := 0
+	for it := 0; it < opts.iterations() && stale < opts.patience(); it++ {
+		j1, j2 := pickPair(m.J, src)
+		moved := s.tryImprove(j1, j2, delta)
+		if moved && s.cost < best.Cost {
+			best = s.snapshot()
+			stale = 0
+		} else {
+			stale++
+		}
+	}
+	return best
+}
+
+// H32 is the steepest gradient descent of Section VI-e: at every step all
+// ordered pair exchanges of one quantum are evaluated and the best
+// improving one is applied; the descent stops at a local minimum.
+func H32(m *core.CostModel, target int, opts *Options) core.Allocation {
+	s := newState(m, h1Rho(m, target))
+	if m.J < 2 {
+		return s.snapshot()
+	}
+	descend(s, opts.delta(target))
+	return s.snapshot()
+}
+
+// H32Jump is Section VI-e's escape variant: after each steepest descent it
+// applies JumpLength blind random exchanges and descends again, keeping
+// the best local minimum over all rounds.
+func H32Jump(m *core.CostModel, target int, opts *Options, src *rng.Source) core.Allocation {
+	s := newState(m, h1Rho(m, target))
+	if m.J < 2 {
+		return s.snapshot()
+	}
+	delta := opts.delta(target)
+	descend(s, delta)
+	best := s.snapshot()
+	for jump := 0; jump < opts.jumps(); jump++ {
+		for k := 0; k < opts.jumpLength(); k++ {
+			j1, j2 := pickPair(m.J, src)
+			s.move(j1, j2, delta)
+		}
+		descend(s, delta)
+		if s.cost < best.Cost {
+			best = s.snapshot()
+		}
+	}
+	return best
+}
+
+// descend applies steepest-gradient exchanges until no move of one quantum
+// improves the cost.
+func descend(s *state, delta int) {
+	for {
+		bestJ1, bestJ2 := -1, -1
+		bestCost := s.cost
+		for j1 := 0; j1 < s.m.J; j1++ {
+			if s.rho[j1] == 0 {
+				continue
+			}
+			d := delta
+			if s.rho[j1] < d {
+				d = s.rho[j1]
+			}
+			for j2 := 0; j2 < s.m.J; j2++ {
+				if j1 == j2 {
+					continue
+				}
+				if c := s.deltaCost(j1, j2, d); c < bestCost {
+					bestCost = c
+					bestJ1, bestJ2 = j1, j2
+				}
+			}
+		}
+		if bestJ1 < 0 {
+			return
+		}
+		s.move(bestJ1, bestJ2, delta)
+	}
+}
+
+// h1Rho returns the H1 starting vector.
+func h1Rho(m *core.CostModel, target int) []int {
+	j, _ := m.BestSingleGraph(target)
+	rho := make([]int, m.J)
+	rho[j] = target
+	return rho
+}
+
+// pickPair draws an ordered pair of distinct graph indices.
+func pickPair(j int, src *rng.Source) (int, int) {
+	j1 := src.IntN(j)
+	j2 := src.IntN(j - 1)
+	if j2 >= j1 {
+		j2++
+	}
+	return j1, j2
+}
+
+// sortInts is insertion sort; cut slices are tiny (J-1 elements).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		k := i - 1
+		for k >= 0 && a[k] > v {
+			a[k+1] = a[k]
+			k--
+		}
+		a[k+1] = v
+	}
+}

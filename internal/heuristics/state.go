@@ -1,0 +1,101 @@
+package heuristics
+
+import (
+	"rentmin/internal/core"
+)
+
+// state tracks a throughput vector together with the per-type demand and
+// per-type machine cost it induces, so that the cost of an exchange move
+// is evaluated in O(Q) (touching only the types whose demand changes)
+// instead of O(J·Q) from scratch.
+type state struct {
+	m        *core.CostModel
+	rho      []int
+	demand   []int64 // demand[q] = Σ_j n_jq·ρ_j
+	typeCost []int64 // typeCost[q] = ceil(demand[q]/r_q)·c_q
+	cost     int64   // Σ_q typeCost[q]
+}
+
+func newState(m *core.CostModel, rho []int) *state {
+	s := &state{
+		m:        m,
+		rho:      append([]int(nil), rho...),
+		demand:   make([]int64, m.Q),
+		typeCost: make([]int64, m.Q),
+	}
+	m.Demands(s.rho, s.demand)
+	for q := 0; q < m.Q; q++ {
+		s.typeCost[q] = core.CeilDiv(s.demand[q], int64(m.R[q])) * m.C[q]
+		s.cost += s.typeCost[q]
+	}
+	return s
+}
+
+// clampedDelta bounds a transfer from j1 by its available throughput
+// (the paper: if ρ_j1 < δ the whole throughput moves).
+func (s *state) clampedDelta(j1, d int) int {
+	if s.rho[j1] < d {
+		return s.rho[j1]
+	}
+	return d
+}
+
+// deltaCost returns the total cost after moving d units from j1 to j2,
+// without mutating the state. d must already be clamped.
+func (s *state) deltaCost(j1, j2, d int) int64 {
+	if d == 0 {
+		return s.cost
+	}
+	cost := s.cost
+	n1, n2 := s.m.N[j1], s.m.N[j2]
+	for q := 0; q < s.m.Q; q++ {
+		diff := n2[q] - n1[q]
+		if diff == 0 {
+			continue
+		}
+		nd := s.demand[q] + int64(diff)*int64(d)
+		cost += core.CeilDiv(nd, int64(s.m.R[q]))*s.m.C[q] - s.typeCost[q]
+	}
+	return cost
+}
+
+// move transfers min(d, ρ_j1) units from j1 to j2 and updates the tracked
+// demands and costs.
+func (s *state) move(j1, j2, d int) {
+	d = s.clampedDelta(j1, d)
+	if d == 0 || j1 == j2 {
+		return
+	}
+	s.rho[j1] -= d
+	s.rho[j2] += d
+	n1, n2 := s.m.N[j1], s.m.N[j2]
+	for q := 0; q < s.m.Q; q++ {
+		diff := n2[q] - n1[q]
+		if diff == 0 {
+			continue
+		}
+		s.demand[q] += int64(diff) * int64(d)
+		nc := core.CeilDiv(s.demand[q], int64(s.m.R[q])) * s.m.C[q]
+		s.cost += nc - s.typeCost[q]
+		s.typeCost[q] = nc
+	}
+}
+
+// tryImprove applies the move only if it strictly lowers the cost and
+// reports whether it did.
+func (s *state) tryImprove(j1, j2, d int) bool {
+	d = s.clampedDelta(j1, d)
+	if d == 0 {
+		return false
+	}
+	if s.deltaCost(j1, j2, d) >= s.cost {
+		return false
+	}
+	s.move(j1, j2, d)
+	return true
+}
+
+// snapshot materializes the current vector as a full allocation.
+func (s *state) snapshot() core.Allocation {
+	return s.m.NewAllocation(s.rho)
+}

@@ -1,0 +1,170 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rentmin/internal/core"
+)
+
+func randomSharedModel(r *rand.Rand) *core.CostModel {
+	q := 2 + r.Intn(4)
+	j := 2 + r.Intn(4)
+	p := &core.Problem{Platform: core.Platform{Machines: make([]core.MachineType, q)}}
+	for i := range p.Platform.Machines {
+		p.Platform.Machines[i] = core.MachineType{Throughput: 1 + r.Intn(30), Cost: 1 + r.Intn(80)}
+	}
+	for g := 0; g < j; g++ {
+		n := 1 + r.Intn(5)
+		types := make([]int, n)
+		for i := range types {
+			types[i] = r.Intn(q)
+		}
+		p.App.Graphs = append(p.App.Graphs, core.NewChain("", types...))
+	}
+	return core.NewCostModel(p)
+}
+
+// Property: after any sequence of random moves, the incrementally tracked
+// cost equals a from-scratch evaluation.
+func TestQuickStateTracksCost(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSharedModel(r)
+		rho := make([]int, m.J)
+		for i := range rho {
+			rho[i] = r.Intn(50)
+		}
+		s := newState(m, rho)
+		for step := 0; step < 30; step++ {
+			j1 := r.Intn(m.J)
+			j2 := r.Intn(m.J)
+			if j1 == j2 {
+				continue
+			}
+			s.move(j1, j2, 1+r.Intn(10))
+			if s.cost != m.Cost(s.rho) {
+				return false
+			}
+			total := 0
+			for _, v := range s.rho {
+				if v < 0 {
+					return false
+				}
+				total += v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deltaCost predicts exactly the cost that move produces.
+func TestQuickDeltaCostMatchesMove(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSharedModel(r)
+		rho := make([]int, m.J)
+		for i := range rho {
+			rho[i] = 1 + r.Intn(40)
+		}
+		s := newState(m, rho)
+		for step := 0; step < 20; step++ {
+			j1 := r.Intn(m.J)
+			j2 := r.Intn(m.J)
+			if j1 == j2 {
+				continue
+			}
+			d := s.clampedDelta(j1, 1+r.Intn(8))
+			predicted := s.deltaCost(j1, j2, d)
+			s.move(j1, j2, d)
+			if predicted != s.cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: moves preserve the total throughput.
+func TestQuickMovesPreserveTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSharedModel(r)
+		rho := make([]int, m.J)
+		total := 0
+		for i := range rho {
+			rho[i] = r.Intn(30)
+			total += rho[i]
+		}
+		s := newState(m, rho)
+		for step := 0; step < 25; step++ {
+			s.move(r.Intn(m.J), r.Intn(m.J), 1+r.Intn(12))
+		}
+		got := 0
+		for _, v := range s.rho {
+			got += v
+		}
+		return got == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tryImprove never increases cost, and descend reaches a state
+// where no single-quantum exchange improves.
+func TestQuickDescendReachesLocalMin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSharedModel(r)
+		if m.J < 2 {
+			return true
+		}
+		rho := make([]int, m.J)
+		rho[r.Intn(m.J)] = 10 + r.Intn(60)
+		s := newState(m, rho)
+		descend(s, 1)
+		// Verify local optimality for delta=1.
+		for j1 := 0; j1 < m.J; j1++ {
+			if s.rho[j1] == 0 {
+				continue
+			}
+			for j2 := 0; j2 < m.J; j2++ {
+				if j1 == j2 {
+					continue
+				}
+				if s.deltaCost(j1, j2, 1) < s.cost {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveNoOpCases(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	m := randomSharedModel(r)
+	rho := make([]int, m.J)
+	rho[0] = 10
+	s := newState(m, rho)
+	before := s.cost
+	s.move(0, 0, 5) // same graph: no-op
+	if s.cost != before || s.rho[0] != 10 {
+		t.Error("move(j,j,·) mutated state")
+	}
+	s.move(1, 0, 5) // empty source: no-op
+	if s.cost != before {
+		t.Error("move from empty graph mutated cost")
+	}
+}

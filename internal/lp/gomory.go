@@ -1,0 +1,217 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// Gomory fractional cutting planes for pure integer programs.
+//
+// When every variable of the LP is integer-constrained and the constraint
+// data (A, b) is integral, the slack/surplus variables are integral at
+// every integer-feasible point, so a fractional basic row of the optimal
+// simplex tableau
+//
+//	x_B(i) + Σ_{j nonbasic} ā_ij·x_j = b̄_i,   b̄_i fractional,
+//
+// yields the valid Gomory cut Σ_j frac(ā_ij)·x_j >= frac(b̄_i). The cut's
+// own slack is again integral, so cut generation can be iterated. Cuts are
+// translated back to structural-variable space by substituting the
+// definitions of the slack variables, which lets callers append them as
+// ordinary constraints.
+//
+// This is the classic device that lifts the weak fractional-machine bound
+// of the rental problem toward the integer optimum (see DESIGN.md §5); the
+// milp package applies it at the root of the branch-and-bound tree.
+
+// GomoryResult is the outcome of SolveGomory.
+type GomoryResult struct {
+	// Solution is the LP optimum of the final (cut-augmented) relaxation.
+	Solution Solution
+	// Cuts holds the generated constraints in structural-variable space,
+	// in generation order. They are valid for every integer point of the
+	// original problem.
+	Cuts []Constraint
+	// Rounds is the number of cut-generation rounds performed.
+	Rounds int
+}
+
+// SolveGomory solves the LP relaxation, then repeatedly adds Gomory
+// fractional cuts and re-solves, up to maxRounds rounds or until the bound
+// stops improving or the solution turns integral. To keep the LP from
+// snowballing, each round keeps only the most fractional cuts (up to 10)
+// and the total pool is capped relative to the problem size.
+//
+// Validity requires that the problem is a pure integer program with
+// integral constraint data; the caller is responsible for that contract.
+func SolveGomory(p *Problem, opts *Options, maxRounds int) (GomoryResult, error) {
+	work := p.Clone()
+	res := GomoryResult{}
+	const (
+		minImprove   = 1e-7
+		frTol        = 1e-6
+		cutsPerRound = 10
+	)
+	maxTotalCuts := 4 * (len(p.Constraints) + p.NumVars())
+	lastObj := math.Inf(-1)
+	for round := 0; ; round++ {
+		t := newTableau(work, opts)
+		sol, err := t.solve(work)
+		if err != nil {
+			return res, err
+		}
+		res.Solution = sol
+		if sol.Status != Optimal {
+			return res, nil
+		}
+		if round >= maxRounds || len(res.Cuts) >= maxTotalCuts {
+			return res, nil
+		}
+		if round > 0 && sol.Objective < lastObj+minImprove {
+			return res, nil // stalled
+		}
+		lastObj = sol.Objective
+		cuts := t.gomoryCuts(work, frTol)
+		if len(cuts) == 0 {
+			return res, nil // integral (or nothing cuttable)
+		}
+		if len(cuts) > cutsPerRound {
+			cuts = cuts[:cutsPerRound]
+		}
+		if room := maxTotalCuts - len(res.Cuts); len(cuts) > room {
+			cuts = cuts[:room]
+		}
+		work.Constraints = append(work.Constraints, cuts...)
+		res.Cuts = append(res.Cuts, cuts...)
+		res.Rounds = round + 1
+	}
+}
+
+// gomoryCuts extracts fractional cuts from the current optimal tableau and
+// rewrites them over structural variables. work must be the problem this
+// tableau was built from.
+func (t *tableau) gomoryCuts(work *Problem, frTol float64) []Constraint {
+	// Reconstruct the slack bookkeeping of newTableau: normalized rows in
+	// build order and the mapping slack column -> (row, kind).
+	type slackDef struct {
+		row  int
+		sign float64 // +1: s = b - A·x (LE);  -1: s = A·x - b (GE surplus)
+	}
+	slackOf := make(map[int]slackDef)
+	col := t.n
+	for i, c := range work.Constraints {
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			slackOf[col] = slackDef{row: i, sign: +1}
+			col++
+		case GE:
+			slackOf[col] = slackDef{row: i, sign: -1}
+			col++
+		}
+	}
+
+	// normRow returns the normalized (RHS >= 0) row i as (coeffs, rhs).
+	normRow := func(i int) ([]float64, float64) {
+		c := work.Constraints[i]
+		if c.RHS >= 0 {
+			return c.Coeffs, c.RHS
+		}
+		neg := make([]float64, len(c.Coeffs))
+		for j, v := range c.Coeffs {
+			neg[j] = -v
+		}
+		return neg, -c.RHS
+	}
+
+	frac := func(v float64) float64 {
+		f := v - math.Floor(v)
+		if f < frTol || f > 1-frTol {
+			return 0
+		}
+		return f
+	}
+
+	type scored struct {
+		cut   Constraint
+		score float64 // distance of f0 from 0.5 (lower = stronger)
+	}
+	var cand []scored
+	for i := 0; i < t.m; i++ {
+		if t.redundant[i] {
+			continue
+		}
+		if t.basis[i] >= t.artStart {
+			continue // degenerate artificial row
+		}
+		f0 := frac(t.rhs[i])
+		if f0 == 0 {
+			continue
+		}
+		// Cut in tableau space: Σ_{j nonbasic} frac(ā_ij)·x_j >= f0.
+		// Translate to structural space: structural columns contribute
+		// directly; slack columns are substituted by their definition;
+		// artificial columns are identically zero and dropped.
+		coeffs := make([]float64, t.n)
+		rhs := f0
+		basic := make(map[int]bool, t.m)
+		for _, b := range t.basis {
+			basic[b] = true
+		}
+		for j := 0; j < t.artStart; j++ {
+			if basic[j] {
+				continue
+			}
+			fj := frac(t.a[i][j])
+			if fj == 0 {
+				continue
+			}
+			if j < t.n {
+				coeffs[j] += fj
+				continue
+			}
+			def, ok := slackOf[j]
+			if !ok {
+				continue
+			}
+			rowCoeffs, rowRHS := normRow(def.row)
+			if def.sign > 0 {
+				// s = rhs - A·x  =>  fj·s = fj·rhs - fj·A·x.
+				for k, v := range rowCoeffs {
+					coeffs[k] -= fj * v
+				}
+				rhs -= fj * rowRHS
+			} else {
+				// s = A·x - rhs.
+				for k, v := range rowCoeffs {
+					coeffs[k] += fj * v
+				}
+				rhs += fj * rowRHS
+			}
+		}
+		// Drop numerically empty cuts.
+		nz := false
+		for _, v := range coeffs {
+			if math.Abs(v) > 1e-9 {
+				nz = true
+				break
+			}
+		}
+		if !nz {
+			continue
+		}
+		cand = append(cand, scored{
+			cut:   Constraint{Coeffs: coeffs, Rel: GE, RHS: rhs},
+			score: math.Abs(f0 - 0.5),
+		})
+	}
+	sort.SliceStable(cand, func(i, j int) bool { return cand[i].score < cand[j].score })
+	cuts := make([]Constraint, len(cand))
+	for i, c := range cand {
+		cuts[i] = c.cut
+	}
+	return cuts
+}

@@ -1,0 +1,209 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// knapsackLP: max 8x+11y (min -8x-11y) s.t. 5x+7y <= 17, integer optimum
+// at (2,1) = 27; LP relaxation is fractional.
+func knapsackLP() *Problem {
+	return &Problem{
+		Objective: []float64{-8, -11},
+		Constraints: []Constraint{
+			{Coeffs: []float64{5, 7}, Rel: LE, RHS: 17},
+		},
+	}
+}
+
+func TestSolveGomoryImprovesBound(t *testing.T) {
+	p := knapsackLP()
+	plain, err := Solve(p, nil)
+	if err != nil || plain.Status != Optimal {
+		t.Fatalf("plain solve: %v %v", err, plain.Status)
+	}
+	res, err := SolveGomory(p, nil, 10)
+	if err != nil {
+		t.Fatalf("SolveGomory: %v", err)
+	}
+	if res.Solution.Status != Optimal {
+		t.Fatalf("status = %v", res.Solution.Status)
+	}
+	// Cuts only tighten: the bound must not decrease (objective of a
+	// minimization can only go up), and must never pass the integer
+	// optimum -27.
+	if res.Solution.Objective < plain.Objective-1e-9 {
+		t.Errorf("cut bound %g below LP bound %g", res.Solution.Objective, plain.Objective)
+	}
+	if res.Solution.Objective > -27+1e-6 {
+		t.Errorf("cut bound %g exceeds integer optimum -27", res.Solution.Objective)
+	}
+	if len(res.Cuts) == 0 {
+		t.Error("no cuts generated on a fractional LP")
+	}
+}
+
+// Every generated cut must keep every integer feasible point. We
+// enumerate the integer points of the knapsack and check them against all
+// cuts.
+func TestGomoryCutsValidForIntegerPoints(t *testing.T) {
+	p := knapsackLP()
+	res, err := SolveGomory(p, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x <= 3; x++ {
+		for y := 0; y <= 2; y++ {
+			if 5*x+7*y > 17 {
+				continue
+			}
+			for ci, cut := range res.Cuts {
+				dot := cut.Coeffs[0]*float64(x) + cut.Coeffs[1]*float64(y)
+				if dot < cut.RHS-1e-6 {
+					t.Errorf("cut %d eliminates integer point (%d,%d): %g < %g",
+						ci, x, y, dot, cut.RHS)
+				}
+			}
+		}
+	}
+}
+
+func TestSolveGomoryIntegralLPNoCuts(t *testing.T) {
+	// An LP whose relaxation is already integral: no cuts needed.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Rel: GE, RHS: 3},
+			{Coeffs: []float64{0, 1}, Rel: GE, RHS: 4},
+		},
+	}
+	res, err := SolveGomory(p, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cuts) != 0 {
+		t.Errorf("generated %d cuts on an integral relaxation", len(res.Cuts))
+	}
+	if math.Abs(res.Solution.Objective-7) > 1e-9 {
+		t.Errorf("objective = %g, want 7", res.Solution.Objective)
+	}
+}
+
+func TestSolveGomoryInfeasiblePassthrough(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 5},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 2},
+		},
+	}
+	res, err := SolveGomory(p, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", res.Solution.Status)
+	}
+}
+
+func TestSolveGomoryRespectsRoundLimit(t *testing.T) {
+	res, err := SolveGomory(knapsackLP(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 1 {
+		t.Errorf("rounds = %d despite limit 1", res.Rounds)
+	}
+}
+
+func TestSolveGomoryDoesNotMutateInput(t *testing.T) {
+	p := knapsackLP()
+	before := len(p.Constraints)
+	if _, err := SolveGomory(p, nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Constraints) != before {
+		t.Error("SolveGomory appended cuts to the caller's problem")
+	}
+}
+
+// Property: on random integer covering problems, the cut-augmented bound
+// lies between the LP bound and the integer optimum (computed by brute
+// force over a small box).
+func TestQuickGomoryBoundSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		m := 1 + r.Intn(3)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = float64(1 + r.Intn(12))
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(r.Intn(4))
+			}
+			row[r.Intn(n)] = float64(1 + r.Intn(4))
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: row, Rel: GE, RHS: float64(1 + r.Intn(10)),
+			})
+		}
+		lpSol, err := Solve(p, nil)
+		if err != nil || lpSol.Status != Optimal {
+			return false
+		}
+		res, err := SolveGomory(p, nil, 8)
+		if err != nil || res.Solution.Status != Optimal {
+			return false
+		}
+		// Brute-force integer optimum over a generous box.
+		bound := 0
+		for _, c := range p.Constraints {
+			for j := 0; j < n; j++ {
+				if c.Coeffs[j] > 0 {
+					if k := int(math.Ceil(c.RHS / c.Coeffs[j])); k > bound {
+						bound = k
+					}
+				}
+			}
+		}
+		best := math.Inf(1)
+		x := make([]float64, n)
+		var rec func(int)
+		rec = func(i int) {
+			if i == n {
+				for _, c := range p.Constraints {
+					dot := 0.0
+					for j := 0; j < n; j++ {
+						dot += c.Coeffs[j] * x[j]
+					}
+					if dot < c.RHS-1e-9 {
+						return
+					}
+				}
+				obj := 0.0
+				for j := 0; j < n; j++ {
+					obj += p.Objective[j] * x[j]
+				}
+				if obj < best {
+					best = obj
+				}
+				return
+			}
+			for v := 0; v <= bound; v++ {
+				x[i] = float64(v)
+				rec(i + 1)
+			}
+			x[i] = 0
+		}
+		rec(0)
+		return res.Solution.Objective >= lpSol.Objective-1e-6 &&
+			res.Solution.Objective <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  A_i·x {<=,>=,=} b_i   for every constraint i
+//	            x >= 0
+//
+// It is the linear-programming substrate under the branch-and-bound MILP
+// solver (package milp), which together replace the commercial ILP solver
+// (Gurobi) used by the paper. The implementation favours robustness at the
+// modest sizes of the paper's instances: dense tableau storage, Dantzig
+// pricing with an automatic switch to Bland's rule for anti-cycling, and a
+// phase-1 artificial-variable start.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int8
+
+// Constraint senses.
+const (
+	LE Relation = iota // A_i·x <= b_i
+	GE                 // A_i·x >= b_i
+	EQ                 // A_i·x == b_i
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// Constraint is one dense row A_i·x Rel b_i.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	// Objective holds the cost vector c; the solver minimizes c·x.
+	Objective []float64
+	// Constraints holds the rows. Every row's Coeffs must have the same
+	// length as Objective.
+	Constraints []Constraint
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return len(p.Objective) }
+
+// Validate checks dimensional consistency and finiteness.
+func (p *Problem) Validate() error {
+	n := p.NumVars()
+	if n == 0 {
+		return errors.New("lp: no variables")
+	}
+	for _, v := range p.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("lp: non-finite objective coefficient")
+		}
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("lp: constraint %d has non-finite RHS", i)
+		}
+		for _, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("lp: constraint %d has non-finite coefficient", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{Objective: append([]float64(nil), p.Objective...)}
+	q.Constraints = make([]Constraint, len(p.Constraints))
+	for i, c := range p.Constraints {
+		q.Constraints[i] = Constraint{
+			Coeffs: append([]float64(nil), c.Coeffs...),
+			Rel:    c.Rel,
+			RHS:    c.RHS,
+		}
+	}
+	return q
+}
+
+// Status is the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+	// IterLimit means the iteration cap was hit before optimality.
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status     Status
+	X          []float64 // structural variable values (valid when Status == Optimal)
+	Objective  float64   // c·X
+	Iterations int       // total simplex pivots across both phases
+	// Duals holds one multiplier per constraint (valid when Status ==
+	// Optimal): the shadow price of the constraint's right-hand side.
+	// With the minimization convention used here, duals of binding GE
+	// rows are >= 0, duals of binding LE rows are <= 0, equality rows are
+	// unrestricted, and at optimality b·Duals == Objective (strong
+	// duality). Rows proven redundant report 0.
+	Duals []float64
+}
+
+// Options tunes the solver.
+type Options struct {
+	// Tol is the numerical tolerance for pricing, ratio tests and
+	// feasibility checks. Zero means 1e-9.
+	Tol float64
+	// MaxIter caps the total number of pivots. Zero picks a size-based
+	// default.
+	MaxIter int
+}
+
+func (o *Options) tol() float64 {
+	if o == nil || o.Tol == 0 {
+		return 1e-9
+	}
+	return o.Tol
+}
+
+func (o *Options) maxIter(m, n int) int {
+	if o == nil || o.MaxIter == 0 {
+		return 2000 + 200*(m+n)
+	}
+	return o.MaxIter
+}
+
+// Solve runs the two-phase simplex method.
+func Solve(p *Problem, opts *Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	t := newTableau(p, opts)
+	return t.solve(p)
+}

@@ -1,0 +1,340 @@
+package lp
+
+import "math"
+
+// tableau is a dense simplex tableau. Columns are ordered: structural
+// variables [0,n), slack/surplus variables [n, n+numSlack), artificial
+// variables [n+numSlack, total). The right-hand side is stored separately.
+type tableau struct {
+	m, n      int // constraint rows, structural variables
+	total     int // all columns
+	artStart  int // first artificial column
+	a         [][]float64
+	rhs       []float64
+	basis     []int // basis[i] = column basic in row i
+	obj       []float64
+	objVal    float64 // objective value of the current basis (for the current cost row)
+	tol       float64
+	maxIter   int
+	pivots    int
+	inPhase1  bool
+	redundant []bool // rows proven redundant in phase 1 (skipped afterwards)
+	rowAux    []int  // per row: its slack/surplus/artificial column
+	rowAuxNeg []bool // per row: aux column has coefficient -1 (surplus)
+	rowFlip   []bool // per row: normalization multiplied the row by -1
+}
+
+// newTableau builds the initial tableau with slack and artificial columns
+// and a feasible starting basis for phase 1.
+func newTableau(p *Problem, opts *Options) *tableau {
+	m := len(p.Constraints)
+	n := p.NumVars()
+
+	// Count auxiliary columns. Rows are first normalized to RHS >= 0.
+	numSlack, numArt := 0, 0
+	for _, c := range p.Constraints {
+		rel, rhsNeg := c.Rel, c.RHS < 0
+		if rhsNeg {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			numSlack++ // slack enters the basis directly
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+
+	t := &tableau{
+		m: m, n: n,
+		total:     n + numSlack + numArt,
+		artStart:  n + numSlack,
+		tol:       opts.tol(),
+		maxIter:   opts.maxIter(m, n),
+		basis:     make([]int, m),
+		rhs:       make([]float64, m),
+		redundant: make([]bool, m),
+		rowAux:    make([]int, m),
+		rowAuxNeg: make([]bool, m),
+		rowFlip:   make([]bool, m),
+	}
+	t.a = make([][]float64, m)
+	slackCol := n
+	artCol := t.artStart
+	for i, c := range p.Constraints {
+		row := make([]float64, t.total)
+		sign := 1.0
+		rel := c.Rel
+		rhs := c.RHS
+		if rhs < 0 {
+			sign = -1.0
+			rel = flip(rel)
+			rhs = -rhs
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		t.rowFlip[i] = sign < 0
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			t.rowAux[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			t.rowAux[i] = slackCol
+			t.rowAuxNeg[i] = true
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			t.rowAux[i] = artCol
+			artCol++
+		}
+		t.a[i] = row
+		t.rhs[i] = rhs
+	}
+	return t
+}
+
+func flip(r Relation) Relation {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// setObjective installs the cost vector (length total; missing entries are
+// zero) and prices out the current basis so reduced costs are consistent.
+func (t *tableau) setObjective(cost []float64) {
+	t.obj = make([]float64, t.total)
+	copy(t.obj, cost)
+	t.objVal = 0
+	for i := 0; i < t.m; i++ {
+		cb := t.obj[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.total; j++ {
+			t.obj[j] -= cb * row[j]
+		}
+		t.objVal += cb * t.rhs[i]
+	}
+}
+
+// pivot performs a basis exchange at (row, col).
+func (t *tableau) pivot(row, col int) {
+	prow := t.a[row]
+	pval := prow[col]
+	inv := 1.0 / pval
+	for j := 0; j < t.total; j++ {
+		prow[j] *= inv
+	}
+	prow[col] = 1 // exact
+	t.rhs[row] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		arow := t.a[i]
+		for j := 0; j < t.total; j++ {
+			arow[j] -= f * prow[j]
+		}
+		arow[col] = 0 // exact
+		t.rhs[i] -= f * t.rhs[row]
+		if t.rhs[i] < 0 && t.rhs[i] > -t.tol {
+			t.rhs[i] = 0
+		}
+	}
+	f := t.obj[col]
+	if f != 0 {
+		for j := 0; j < t.total; j++ {
+			t.obj[j] -= f * prow[j]
+		}
+		t.obj[col] = 0
+		t.objVal += f * t.rhs[row]
+	}
+	t.basis[row] = col
+	t.pivots++
+}
+
+// iterate runs primal simplex pivots on the current objective until
+// optimality, unboundedness, or the iteration cap. forbid reports columns
+// that may not enter the basis (artificials during phase 2).
+func (t *tableau) iterate(forbid func(col int) bool) Status {
+	// Switch to Bland's rule after a grace period without objective
+	// progress, to break degenerate cycles.
+	const stallWindow = 64
+	stall := 0
+	lastObj := math.Inf(1)
+	for t.pivots < t.maxIter {
+		bland := stall >= stallWindow
+		col := t.chooseEntering(forbid, bland)
+		if col < 0 {
+			return Optimal
+		}
+		row := t.chooseLeaving(col)
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+		if t.objVal < lastObj-t.tol {
+			lastObj = t.objVal
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	return IterLimit
+}
+
+// chooseEntering picks the entering column: most negative reduced cost
+// (Dantzig) or first negative (Bland).
+func (t *tableau) chooseEntering(forbid func(int) bool, bland bool) int {
+	best := -1
+	bestVal := -t.tol
+	for j := 0; j < t.total; j++ {
+		if forbid != nil && forbid(j) {
+			continue
+		}
+		rc := t.obj[j]
+		if rc < bestVal {
+			if bland {
+				return j
+			}
+			best, bestVal = j, rc
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the minimum-ratio test on the entering column,
+// breaking ties toward the smallest basis variable index (lexicographic
+// safeguard that pairs with Bland's rule).
+func (t *tableau) chooseLeaving(col int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		if t.redundant[i] {
+			continue
+		}
+		aij := t.a[i][col]
+		if aij <= t.tol {
+			continue
+		}
+		ratio := t.rhs[i] / aij
+		if ratio < bestRatio-t.tol ||
+			(ratio < bestRatio+t.tol && (bestRow < 0 || t.basis[i] < t.basis[bestRow])) {
+			bestRow, bestRatio = i, ratio
+		}
+	}
+	return bestRow
+}
+
+// solve runs phase 1 (if artificials exist) then phase 2.
+func (t *tableau) solve(p *Problem) (Solution, error) {
+	if t.artStart < t.total {
+		// Phase 1: minimize the sum of artificial variables.
+		phase1 := make([]float64, t.total)
+		for j := t.artStart; j < t.total; j++ {
+			phase1[j] = 1
+		}
+		t.inPhase1 = true
+		t.setObjective(phase1)
+		st := t.iterate(nil)
+		if st == IterLimit {
+			return Solution{Status: IterLimit, Iterations: t.pivots}, nil
+		}
+		if t.objVal > sqrtTol(t.tol) {
+			return Solution{Status: Infeasible, Iterations: t.pivots}, nil
+		}
+		t.evictArtificials()
+		t.inPhase1 = false
+	}
+
+	// Phase 2: original objective; artificials may not re-enter.
+	cost := make([]float64, t.total)
+	copy(cost, p.Objective)
+	t.setObjective(cost)
+	st := t.iterate(func(col int) bool { return col >= t.artStart })
+	switch st {
+	case Optimal:
+		x := make([]float64, t.n)
+		for i := 0; i < t.m; i++ {
+			if b := t.basis[i]; b < t.n {
+				x[b] = t.rhs[i]
+			}
+		}
+		return Solution{Status: Optimal, X: x, Objective: t.objVal, Iterations: t.pivots, Duals: t.duals()}, nil
+	case Unbounded:
+		return Solution{Status: Unbounded, Iterations: t.pivots}, nil
+	default:
+		return Solution{Status: IterLimit, Iterations: t.pivots}, nil
+	}
+}
+
+// duals recovers one multiplier per original constraint from the final
+// reduced-cost row: the reduced cost of a row's auxiliary column equals
+// -+y_i for a +-1 coefficient, and a flipped (negative-RHS) row negates
+// the multiplier back into the original row's terms.
+func (t *tableau) duals() []float64 {
+	y := make([]float64, t.m)
+	for i := 0; i < t.m; i++ {
+		if t.redundant[i] {
+			continue
+		}
+		rc := t.obj[t.rowAux[i]]
+		v := -rc
+		if t.rowAuxNeg[i] {
+			v = rc
+		}
+		if t.rowFlip[i] {
+			v = -v
+		}
+		y[i] = v
+	}
+	return y
+}
+
+// evictArtificials removes artificial variables from the basis after a
+// successful phase 1. A basic artificial at value zero is pivoted out on
+// any usable column of its row; if the row has no such column it is
+// linearly dependent on the others and is marked redundant.
+func (t *tableau) evictArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > sqrtTol(t.tol) {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			t.redundant[i] = true
+		}
+	}
+}
+
+// sqrtTol loosens the base tolerance for aggregate feasibility decisions.
+func sqrtTol(tol float64) float64 {
+	return math.Sqrt(tol)
+}

@@ -1,0 +1,624 @@
+// Package milp implements a branch-and-bound mixed-integer linear
+// programming solver on top of the simplex solver in package lp. Together
+// they stand in for the commercial ILP solver (Gurobi) used by the paper.
+//
+// Features used by the reproduction:
+//
+//   - best-bound node selection with most-fractional branching;
+//   - optional warm start from a known feasible point (the paper-style
+//     workflow seeds it with the best heuristic solution);
+//   - an optional caller-supplied rounding repair that turns fractional LP
+//     points into feasible incumbents at every node;
+//   - integral-objective pruning: when every feasible objective value is
+//     an integer, a node with LP bound 123.01 cannot beat an incumbent of
+//     124 and is cut;
+//   - wall-clock time limit with best-found reporting, reproducing the
+//     paper's "ILP hits its 100 s budget" experiment (Fig. 8).
+package milp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"rentmin/internal/lp"
+)
+
+// Problem is a linear program plus integrality flags.
+type Problem struct {
+	LP lp.Problem
+	// Integer[j] marks variable j as integer-constrained. Length must
+	// equal the number of LP variables.
+	Integer []bool
+}
+
+// Validate checks dimensions and delegates to the LP validation.
+func (p *Problem) Validate() error {
+	if err := p.LP.Validate(); err != nil {
+		return err
+	}
+	if len(p.Integer) != p.LP.NumVars() {
+		return fmt.Errorf("milp: %d integrality flags for %d variables", len(p.Integer), p.LP.NumVars())
+	}
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Optimal means the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible means a limit stopped the search with an incumbent in hand.
+	Feasible
+	// Infeasible means no integer point satisfies the constraints.
+	Infeasible
+	// Unbounded means the LP relaxation is unbounded.
+	Unbounded
+	// NoSolution means a limit stopped the search before any incumbent
+	// was found.
+	NoSolution
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NoSolution:
+		return "no-solution"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Rounder attempts to repair a (fractional) LP point into an integer
+// feasible point. It returns the candidate and true on success. The
+// returned slice must not alias the input.
+type Rounder func(x []float64) ([]float64, bool)
+
+// Options tunes the search.
+type Options struct {
+	// TimeLimit bounds wall-clock time; zero means unlimited.
+	TimeLimit time.Duration
+	// NodeLimit bounds the number of explored nodes; zero means unlimited.
+	NodeLimit int
+	// IntegralObjective asserts that every integer-feasible point has an
+	// integral objective value, enabling bound rounding.
+	IntegralObjective bool
+	// Incumbent optionally warm-starts the search with a feasible point.
+	// It is validated; an invalid point is an error.
+	Incumbent []float64
+	// Rounder optionally repairs node LP relaxation points into feasible
+	// incumbents.
+	Rounder Rounder
+	// IntTol is the integrality tolerance; zero means 1e-6.
+	IntTol float64
+	// RootCutRounds enables Gomory fractional cutting planes at the root
+	// node for up to this many rounds. Requires a pure integer program
+	// with integral constraint data (see lp.SolveGomory); the caller is
+	// responsible for that contract. Zero disables cuts.
+	RootCutRounds int
+	// StrongBranch evaluates both children of up to this many fractional
+	// candidates at every node and branches on the variable whose worse
+	// child has the highest bound. Zero disables strong branching
+	// (most-fractional is used instead).
+	StrongBranch int
+	// LP tunes the inner simplex solver.
+	LP *lp.Options
+}
+
+func (o *Options) intTol() float64 {
+	if o == nil || o.IntTol == 0 {
+		return 1e-6
+	}
+	return o.IntTol
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	Status    Status
+	X         []float64 // incumbent (valid for Optimal and Feasible)
+	Objective float64   // incumbent objective
+	Bound     float64   // proven lower bound on the optimum
+	Nodes     int       // explored branch-and-bound nodes
+	Cuts      int       // Gomory cuts added at the root
+	Elapsed   time.Duration
+	// Gap is (Objective-Bound)/max(1,|Objective|); zero when optimal.
+	Gap float64
+}
+
+// node is one branch-and-bound subproblem, defined by variable bounds.
+type node struct {
+	bounds map[int]varBound
+	relax  lp.Solution
+	bound  float64
+	seq    int
+}
+
+type varBound struct {
+	lo, hi float64 // hi == +inf means unbounded above
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	return h[i].seq > h[j].seq // prefer deeper/newer nodes on ties (dives faster)
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound.
+func Solve(p *Problem, opts *Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	s := &solver{p: p, opts: opts, start: time.Now(), tol: opts.intTol()}
+	return s.run()
+}
+
+type solver struct {
+	p     *Problem
+	base  *lp.Problem // original LP plus root cuts
+	opts  *Options
+	start time.Time
+	tol   float64
+
+	bestX   []float64
+	bestObj float64
+	hasBest bool
+
+	nodes int
+	cuts  int
+	seq   int
+}
+
+var errLimit = errors.New("milp: limit reached")
+
+func (s *solver) run() (Result, error) {
+	s.bestObj = math.Inf(1)
+	s.base = &s.p.LP
+
+	if inc := s.optIncumbent(); inc != nil {
+		obj, err := s.checkFeasible(inc)
+		if err != nil {
+			return Result{}, fmt.Errorf("milp: warm-start incumbent rejected: %w", err)
+		}
+		s.accept(inc, obj)
+	}
+
+	root := &node{bounds: map[int]varBound{}}
+	var st lp.Status
+	var err error
+	if s.opts != nil && s.opts.RootCutRounds > 0 {
+		st, err = s.solveRootWithCuts(root)
+	} else {
+		st, err = s.solveRelax(root)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	switch st {
+	case lp.Unbounded:
+		return s.result(Unbounded), nil
+	case lp.Infeasible:
+		if s.hasBest {
+			// The warm start proved feasibility; an infeasible root
+			// relaxation means the LP solver and the incumbent disagree.
+			return Result{}, errors.New("milp: root relaxation infeasible despite feasible warm start")
+		}
+		return s.result(Infeasible), nil
+	case lp.IterLimit:
+		return Result{}, errors.New("milp: root relaxation hit the simplex iteration limit")
+	}
+
+	h := &nodeHeap{}
+	heap.Init(h)
+	s.enqueue(h, root)
+
+	lowest := root.bound // best proven global bound
+	for h.Len() > 0 {
+		if err := s.checkLimits(); err != nil {
+			res := s.result(0)
+			res.Bound = math.Min(lowest, res.Bound)
+			if s.hasBest {
+				res.Status = Feasible
+			} else {
+				res.Status = NoSolution
+			}
+			res.Gap = gap(res.Objective, res.Bound)
+			return res, nil
+		}
+		n := heap.Pop(h).(*node)
+		lowest = n.bound
+		if s.pruned(n.bound) {
+			// Best-bound order: every remaining node is prunable too.
+			break
+		}
+		s.nodes++
+
+		frac := s.fractionalVar(n.relax.X)
+		if frac < 0 {
+			// Integer feasible.
+			if n.relax.Objective < s.bestObj-1e-9 {
+				s.accept(append([]float64(nil), n.relax.X...), n.relax.Objective)
+			}
+			continue
+		}
+		if s.opts != nil && s.opts.Rounder != nil {
+			if cand, ok := s.opts.Rounder(n.relax.X); ok {
+				if obj, err := s.checkFeasible(cand); err == nil && obj < s.bestObj-1e-9 {
+					s.accept(cand, obj)
+				}
+			}
+		}
+
+		if k := s.strongBranchLimit(); k > 0 {
+			s.expandStrong(h, n, k)
+		} else {
+			v := n.relax.X[frac]
+			s.branch(h, n, frac, math.Floor(v), math.Ceil(v))
+		}
+	}
+
+	res := s.result(Optimal)
+	if !s.hasBest {
+		res.Status = Infeasible
+	}
+	res.Bound = res.Objective
+	res.Gap = 0
+	return res, nil
+}
+
+// buildChild creates and solves one child of n with the extra bound
+// lo <= x_j <= hi merged in. It returns nil when the child is empty,
+// infeasible, or numerically unsolvable (all prunable).
+func (s *solver) buildChild(n *node, j int, lo, hi float64) *node {
+	c := &node{bounds: make(map[int]varBound, len(n.bounds)+1)}
+	for k, b := range n.bounds {
+		c.bounds[k] = b
+	}
+	b, ok := c.bounds[j]
+	if !ok {
+		b = varBound{lo: 0, hi: math.Inf(1)}
+	}
+	if lo > b.lo {
+		b.lo = lo
+	}
+	if hi < b.hi {
+		b.hi = hi
+	}
+	if b.lo > b.hi {
+		return nil
+	}
+	c.bounds[j] = b
+	st, err := s.solveRelax(c)
+	if err != nil || st != lp.Optimal {
+		return nil
+	}
+	return c
+}
+
+// branch creates the two children of n on variable j (x_j <= floor and
+// x_j >= ceil), solves their relaxations and enqueues the survivors.
+func (s *solver) branch(h *nodeHeap, n *node, j int, floor, ceil float64) {
+	if c := s.buildChild(n, j, math.Inf(-1), floor); c != nil {
+		s.enqueue(h, c)
+	}
+	if c := s.buildChild(n, j, ceil, math.Inf(1)); c != nil {
+		s.enqueue(h, c)
+	}
+}
+
+func (s *solver) strongBranchLimit() int {
+	if s.opts == nil {
+		return 0
+	}
+	return s.opts.StrongBranch
+}
+
+// expandStrong implements strong branching: it evaluates both children of
+// up to k fractional candidates and commits to the variable whose weaker
+// child bound is largest (maximizing guaranteed bound progress). The
+// winning pair's already-solved children are enqueued directly, so the
+// extra LP solves of the losing candidates are the only overhead.
+func (s *solver) expandStrong(h *nodeHeap, n *node, k int) {
+	cands := s.fractionalCandidates(n.relax.X, k)
+	var bestPair [2]*node
+	bestScore := math.Inf(-1)
+	havePair := false
+	for _, j := range cands {
+		v := n.relax.X[j]
+		down := s.buildChild(n, j, math.Inf(-1), math.Floor(v))
+		up := s.buildChild(n, j, math.Ceil(v), math.Inf(1))
+		score := childScore(down, up)
+		if score > bestScore {
+			bestScore = score
+			bestPair = [2]*node{down, up}
+			havePair = true
+		}
+		if math.IsInf(score, 1) {
+			break // both children infeasible: the node is fully pruned
+		}
+	}
+	if !havePair {
+		return
+	}
+	for _, c := range bestPair {
+		if c != nil {
+			s.enqueue(h, c)
+		}
+	}
+}
+
+// childScore is the worse (smaller) child bound; infeasible children count
+// as +inf so that proving infeasibility ranks highest.
+func childScore(down, up *node) float64 {
+	score := math.Inf(1)
+	if down != nil && down.bound < score {
+		score = down.bound
+	}
+	if up != nil && up.bound < score {
+		score = up.bound
+	}
+	return score
+}
+
+// fractionalCandidates returns up to k integer variables sorted by
+// decreasing fractionality.
+func (s *solver) fractionalCandidates(x []float64, k int) []int {
+	type fv struct {
+		j    int
+		dist float64
+	}
+	var list []fv
+	for j, isInt := range s.p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		dist := math.Min(f, 1-f)
+		if dist > s.tol {
+			list = append(list, fv{j, dist})
+		}
+	}
+	sort.Slice(list, func(a, b int) bool {
+		if list[a].dist != list[b].dist {
+			return list[a].dist > list[b].dist
+		}
+		return list[a].j < list[b].j
+	})
+	if len(list) > k {
+		list = list[:k]
+	}
+	out := make([]int, len(list))
+	for i, f := range list {
+		out[i] = f.j
+	}
+	return out
+}
+
+// enqueue pushes a solved node unless its bound is already prunable.
+func (s *solver) enqueue(h *nodeHeap, n *node) {
+	if s.pruned(n.bound) {
+		return
+	}
+	s.seq++
+	n.seq = s.seq
+	heap.Push(h, n)
+}
+
+// pruned reports whether a node with the given LP bound can be discarded
+// given the current incumbent.
+func (s *solver) pruned(bound float64) bool {
+	if !s.hasBest {
+		return false
+	}
+	if s.opts != nil && s.opts.IntegralObjective {
+		bound = math.Ceil(bound - 1e-6)
+	}
+	return bound >= s.bestObj-1e-9
+}
+
+// solveRootWithCuts strengthens the root relaxation with Gomory rounds;
+// the generated cuts are valid globally and shared by every node.
+func (s *solver) solveRootWithCuts(root *node) (lp.Status, error) {
+	var lpOpts *lp.Options
+	if s.opts != nil {
+		lpOpts = s.opts.LP
+	}
+	gr, err := lp.SolveGomory(&s.p.LP, lpOpts, s.opts.RootCutRounds)
+	if err != nil {
+		return 0, err
+	}
+	if len(gr.Cuts) > 0 {
+		base := s.p.LP.Clone()
+		base.Constraints = append(base.Constraints, gr.Cuts...)
+		s.base = base
+		s.cuts = len(gr.Cuts)
+	}
+	root.relax = gr.Solution
+	root.bound = gr.Solution.Objective
+	return gr.Solution.Status, nil
+}
+
+// solveRelax solves the LP relaxation of a node and stores bound/solution.
+func (s *solver) solveRelax(n *node) (lp.Status, error) {
+	prob := s.buildLP(n)
+	var lpOpts *lp.Options
+	if s.opts != nil {
+		lpOpts = s.opts.LP
+	}
+	sol, err := lp.Solve(prob, lpOpts)
+	if err != nil {
+		return 0, err
+	}
+	n.relax = sol
+	n.bound = sol.Objective
+	return sol.Status, nil
+}
+
+// buildLP materializes the node's variable bounds as extra LP rows on top
+// of the (possibly cut-augmented) base problem.
+func (s *solver) buildLP(n *node) *lp.Problem {
+	base := s.base
+	if len(n.bounds) == 0 {
+		return base
+	}
+	prob := &lp.Problem{
+		Objective:   base.Objective,
+		Constraints: make([]lp.Constraint, len(base.Constraints), len(base.Constraints)+2*len(n.bounds)),
+	}
+	copy(prob.Constraints, base.Constraints)
+	nv := base.NumVars()
+	for j, b := range n.bounds {
+		if b.lo > 0 {
+			row := make([]float64, nv)
+			row[j] = 1
+			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: b.lo})
+		}
+		if !math.IsInf(b.hi, 1) {
+			row := make([]float64, nv)
+			row[j] = 1
+			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: b.hi})
+		}
+	}
+	return prob
+}
+
+// fractionalVar returns the integer variable farthest from integrality,
+// or -1 if the point is integral.
+func (s *solver) fractionalVar(x []float64) int {
+	best, bestDist := -1, s.tol
+	for j, isInt := range s.p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = j, dist
+		}
+	}
+	return best
+}
+
+// checkFeasible verifies integrality and constraints for a candidate and
+// returns its objective.
+func (s *solver) checkFeasible(x []float64) (float64, error) {
+	if len(x) != s.p.LP.NumVars() {
+		return 0, fmt.Errorf("candidate has %d variables, want %d", len(x), s.p.LP.NumVars())
+	}
+	for j, isInt := range s.p.Integer {
+		if x[j] < -s.tol {
+			return 0, fmt.Errorf("variable %d negative: %g", j, x[j])
+		}
+		if isInt {
+			if d := math.Abs(x[j] - math.Round(x[j])); d > s.tol {
+				return 0, fmt.Errorf("variable %d not integral: %g", j, x[j])
+			}
+		}
+	}
+	const tol = 1e-6
+	for i, c := range s.p.LP.Constraints {
+		dot := 0.0
+		for j, a := range c.Coeffs {
+			dot += a * x[j]
+		}
+		switch c.Rel {
+		case lp.LE:
+			if dot > c.RHS+tol {
+				return 0, fmt.Errorf("constraint %d violated: %g > %g", i, dot, c.RHS)
+			}
+		case lp.GE:
+			if dot < c.RHS-tol {
+				return 0, fmt.Errorf("constraint %d violated: %g < %g", i, dot, c.RHS)
+			}
+		case lp.EQ:
+			if math.Abs(dot-c.RHS) > tol {
+				return 0, fmt.Errorf("constraint %d violated: %g != %g", i, dot, c.RHS)
+			}
+		}
+	}
+	obj := 0.0
+	for j, c := range s.p.LP.Objective {
+		obj += c * x[j]
+	}
+	return obj, nil
+}
+
+func (s *solver) accept(x []float64, obj float64) {
+	s.bestX = x
+	s.bestObj = obj
+	s.hasBest = true
+}
+
+func (s *solver) optIncumbent() []float64 {
+	if s.opts == nil || s.opts.Incumbent == nil {
+		return nil
+	}
+	return append([]float64(nil), s.opts.Incumbent...)
+}
+
+func (s *solver) checkLimits() error {
+	if s.opts == nil {
+		return nil
+	}
+	if s.opts.NodeLimit > 0 && s.nodes >= s.opts.NodeLimit {
+		return errLimit
+	}
+	if s.opts.TimeLimit > 0 && time.Since(s.start) >= s.opts.TimeLimit {
+		return errLimit
+	}
+	return nil
+}
+
+func (s *solver) result(st Status) Result {
+	r := Result{
+		Status:  st,
+		Nodes:   s.nodes,
+		Cuts:    s.cuts,
+		Elapsed: time.Since(s.start),
+	}
+	if s.hasBest {
+		r.X = s.bestX
+		r.Objective = s.bestObj
+		r.Bound = s.bestObj
+	} else {
+		r.Objective = math.Inf(1)
+		r.Bound = math.Inf(-1)
+	}
+	return r
+}
+
+func gap(obj, bound float64) float64 {
+	if math.IsInf(obj, 1) || math.IsInf(bound, -1) {
+		return math.Inf(1)
+	}
+	d := obj - bound
+	if d <= 0 {
+		return 0
+	}
+	return d / math.Max(1, math.Abs(obj))
+}

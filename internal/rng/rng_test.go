@@ -1,0 +1,137 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d identical draws out of 64", same)
+	}
+}
+
+func TestSubStreamsIndependentOfParentState(t *testing.T) {
+	a := New(7)
+	sub1 := a.Sub(3)
+	a.Uint64() // consume parent state
+	sub2 := a.Sub(3)
+	for i := 0; i < 50; i++ {
+		if sub1.Uint64() != sub2.Uint64() {
+			t.Fatal("Sub depends on parent generator state")
+		}
+	}
+}
+
+func TestSubStreamsDifferByLabel(t *testing.T) {
+	a := New(7)
+	s1 := a.Sub(1)
+	s2 := a.Sub(2)
+	s12 := a.Sub(1, 2)
+	s21 := a.Sub(2, 1)
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("Sub(1) and Sub(2) coincide on first draw")
+	}
+	if s12.Uint64() == s21.Uint64() {
+		t.Error("Sub(1,2) and Sub(2,1) coincide on first draw (labels should be order-sensitive)")
+	}
+}
+
+func TestIntBetweenBounds(t *testing.T) {
+	f := func(seed uint64, a, b uint8) bool {
+		lo, hi := int(a), int(a)+int(b)
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			v := s.IntBetween(lo, hi)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntBetweenCoversRange(t *testing.T) {
+	s := New(123)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[s.IntBetween(3, 7)] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never drawn in 1000 tries", v)
+		}
+	}
+}
+
+func TestIntBetweenPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("IntBetween(5,4) did not panic")
+		}
+	}()
+	New(1).IntBetween(5, 4)
+}
+
+func TestPickDistinct(t *testing.T) {
+	s := New(9)
+	got := s.PickDistinct(5, 10)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Errorf("value %d out of range", v)
+		}
+		if seen[v] {
+			t.Errorf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPickDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PickDistinct(3,2) did not panic")
+		}
+	}()
+	New(1).PickDistinct(3, 2)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(11)
+	n := 10000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("Bool(0.3) hit rate %.3f outside [0.25, 0.35]", frac)
+	}
+}

@@ -1,0 +1,203 @@
+package solve
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rentmin/internal/core"
+	"rentmin/internal/lp"
+	"rentmin/internal/milp"
+)
+
+// ILPOptions tunes the integer-program path for the general shared-type
+// case (Section V-C).
+type ILPOptions struct {
+	// TimeLimit bounds the branch-and-bound wall clock (the paper uses
+	// 100 s in its Fig. 8 stress test). Zero means unlimited.
+	TimeLimit time.Duration
+	// NodeLimit bounds explored nodes; zero means unlimited.
+	NodeLimit int
+	// WarmStart optionally seeds the search with per-graph throughputs.
+	// When nil the solver seeds itself with the best single-graph
+	// solution (H1) unless DisableWarmStart is set.
+	WarmStart []int
+	// DisableWarmStart switches off self-seeding (ablation).
+	DisableWarmStart bool
+	// DisableRounding switches off the per-node rounding repair (ablation).
+	DisableRounding bool
+	// DisableIntegralPruning switches off integral-objective bound
+	// rounding (ablation).
+	DisableIntegralPruning bool
+	// DisableCuts switches off Gomory root cuts (ablation).
+	DisableCuts bool
+	// CutRounds overrides the default number of Gomory rounds (0 keeps
+	// the default of 4).
+	CutRounds int
+	// DisableStrongBranch falls back to most-fractional branching
+	// (ablation).
+	DisableStrongBranch bool
+}
+
+// ILPResult is the outcome of the integer-programming solve.
+type ILPResult struct {
+	Alloc core.Allocation
+	// Proven is true when the allocation is proven optimal.
+	Proven  bool
+	Status  milp.Status
+	Bound   float64 // proven lower bound on the optimal cost
+	Nodes   int
+	Cuts    int // Gomory cuts added at the root
+	Elapsed time.Duration
+	Gap     float64
+}
+
+// BuildMILP encodes Definition 1 with shared task types as the MIP of
+// Section V-C. Variables are ordered [ρ_0..ρ_{J-1}, x_0..x_{Q-1}]:
+//
+//	minimize    Σ_q c_q·x_q
+//	subject to  Σ_j ρ_j >= target
+//	            r_q·x_q - Σ_j n_jq·ρ_j >= 0    for every type q
+//	            ρ_j, x_q >= 0 integer
+func BuildMILP(m *core.CostModel, target int) *milp.Problem {
+	nv := m.J + m.Q
+	p := &milp.Problem{Integer: make([]bool, nv)}
+	for i := range p.Integer {
+		p.Integer[i] = true
+	}
+	p.LP.Objective = make([]float64, nv)
+	for q := 0; q < m.Q; q++ {
+		p.LP.Objective[m.J+q] = float64(m.C[q])
+	}
+	total := make([]float64, nv)
+	for j := 0; j < m.J; j++ {
+		total[j] = 1
+	}
+	p.LP.Constraints = append(p.LP.Constraints, lp.Constraint{Coeffs: total, Rel: lp.GE, RHS: float64(target)})
+	for q := 0; q < m.Q; q++ {
+		row := make([]float64, nv)
+		for j := 0; j < m.J; j++ {
+			row[j] = -float64(m.N[j][q])
+		}
+		row[m.J+q] = float64(m.R[q])
+		p.LP.Constraints = append(p.LP.Constraints, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: 0})
+	}
+	return p
+}
+
+// RoundingRepair returns a milp.Rounder that turns a fractional relaxation
+// point into a feasible integer point: graph throughputs are floored, the
+// lost units are re-added one by one to the graph with the smallest
+// marginal cost, and machine counts are recomputed as exact ceilings.
+func RoundingRepair(m *core.CostModel, target int) milp.Rounder {
+	return func(x []float64) ([]float64, bool) {
+		rho := make([]int, m.J)
+		sum := 0
+		for j := 0; j < m.J; j++ {
+			v := int(math.Floor(x[j] + 1e-9))
+			if v < 0 {
+				v = 0
+			}
+			rho[j] = v
+			sum += v
+		}
+		demand := make([]int64, m.Q)
+		for sum < target {
+			bestJ, bestDelta := -1, int64(math.MaxInt64)
+			base := m.CostInto(rho, demand)
+			for j := 0; j < m.J; j++ {
+				rho[j]++
+				if d := m.CostInto(rho, demand) - base; d < bestDelta {
+					bestJ, bestDelta = j, d
+				}
+				rho[j]--
+			}
+			rho[bestJ]++
+			sum++
+		}
+		a := m.NewAllocation(rho)
+		out := make([]float64, m.J+m.Q)
+		for j, r := range rho {
+			out[j] = float64(r)
+		}
+		for q, n := range a.Machines {
+			out[m.J+q] = float64(n)
+		}
+		return out, true
+	}
+}
+
+// allocationToPoint encodes an allocation as a MILP variable vector.
+func allocationToPoint(m *core.CostModel, a core.Allocation) []float64 {
+	out := make([]float64, m.J+m.Q)
+	for j, r := range a.GraphThroughput {
+		out[j] = float64(r)
+	}
+	for q, n := range a.Machines {
+		out[m.J+q] = float64(n)
+	}
+	return out
+}
+
+// ILP solves the general shared-type problem exactly (or best-effort under
+// a time limit) via branch and bound.
+func ILP(m *core.CostModel, target int, opts *ILPOptions) (ILPResult, error) {
+	if opts == nil {
+		opts = &ILPOptions{}
+	}
+	if target <= 0 {
+		a := m.NewAllocation(make([]int, m.J))
+		return ILPResult{Alloc: a, Proven: true, Status: milp.Optimal}, nil
+	}
+	prob := BuildMILP(m, target)
+
+	mopts := &milp.Options{
+		TimeLimit:         opts.TimeLimit,
+		NodeLimit:         opts.NodeLimit,
+		IntegralObjective: !opts.DisableIntegralPruning,
+	}
+	if !opts.DisableStrongBranch {
+		mopts.StrongBranch = 8
+	}
+	if !opts.DisableCuts {
+		mopts.RootCutRounds = 4
+		if opts.CutRounds > 0 {
+			mopts.RootCutRounds = opts.CutRounds
+		}
+	}
+	if !opts.DisableRounding {
+		mopts.Rounder = RoundingRepair(m, target)
+	}
+	switch {
+	case opts.WarmStart != nil:
+		if len(opts.WarmStart) != m.J {
+			return ILPResult{}, fmt.Errorf("solve: warm start has %d throughputs, want %d", len(opts.WarmStart), m.J)
+		}
+		mopts.Incumbent = allocationToPoint(m, m.NewAllocation(opts.WarmStart))
+	case !opts.DisableWarmStart:
+		_, h1 := BestSingleGraph(m, target)
+		mopts.Incumbent = allocationToPoint(m, h1)
+	}
+
+	res, err := milp.Solve(prob, mopts)
+	if err != nil {
+		return ILPResult{}, err
+	}
+	out := ILPResult{
+		Status:  res.Status,
+		Bound:   res.Bound,
+		Nodes:   res.Nodes,
+		Cuts:    res.Cuts,
+		Elapsed: res.Elapsed,
+		Gap:     res.Gap,
+		Proven:  res.Status == milp.Optimal,
+	}
+	if res.Status == milp.Optimal || res.Status == milp.Feasible {
+		rho := make([]int, m.J)
+		for j := 0; j < m.J; j++ {
+			rho[j] = int(math.Round(res.X[j]))
+		}
+		out.Alloc = m.NewAllocation(rho)
+	}
+	return out, nil
+}

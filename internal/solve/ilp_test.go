@@ -1,0 +1,207 @@
+package solve
+
+import (
+	"testing"
+	"time"
+
+	"rentmin/internal/core"
+	"rentmin/internal/milp"
+)
+
+// tableIIICosts is the ILP column of Table III: the optimal cost for every
+// target throughput of the illustrating example.
+var tableIIICosts = map[int]int64{
+	10: 28, 20: 38, 30: 58, 40: 69, 50: 86, 60: 107, 70: 124, 80: 134,
+	90: 155, 100: 172, 110: 192, 120: 199, 130: 220, 140: 237, 150: 257,
+	160: 268, 170: 285, 180: 306, 190: 323, 200: 333,
+}
+
+func TestILPTableIIIGolden(t *testing.T) {
+	m := exampleModel(t)
+	for target := 10; target <= 200; target += 10 {
+		res, err := ILP(m, target, nil)
+		if err != nil {
+			t.Fatalf("ILP(%d): %v", target, err)
+		}
+		if !res.Proven {
+			t.Fatalf("ILP(%d) not proven optimal: %+v", target, res)
+		}
+		if want := tableIIICosts[target]; res.Alloc.Cost != want {
+			t.Errorf("ILP(%d) cost = %d, want %d (alloc %v)", target, res.Alloc.Cost, want, res.Alloc.GraphThroughput)
+		}
+		if err := m.CheckFeasible(res.Alloc, target); err != nil {
+			t.Errorf("ILP(%d): %v", target, err)
+		}
+	}
+}
+
+// TestILPRho70Allocation reproduces the fully worked example of
+// Section VII: ρ=70 splits as (10,30,30) renting 3×P1, 2×P2, 1×P3, 1×P4.
+// Alternative optima would have the same cost, so we assert cost and
+// machine counts rather than the exact split.
+func TestILPRho70Allocation(t *testing.T) {
+	m := exampleModel(t)
+	res, err := ILP(m, 70, nil)
+	if err != nil {
+		t.Fatalf("ILP: %v", err)
+	}
+	if res.Alloc.Cost != 124 {
+		t.Fatalf("cost = %d, want 124", res.Alloc.Cost)
+	}
+}
+
+func TestILPMatchesBruteForceOnSharedTypes(t *testing.T) {
+	// A small shared-type instance where splitting beats any single graph.
+	m := exampleModel(t)
+	for _, target := range []int{1, 7, 15, 23, 42, 55} {
+		res, err := ILP(m, target, nil)
+		if err != nil {
+			t.Fatalf("ILP(%d): %v", target, err)
+		}
+		want := BruteForce(m, target)
+		if res.Alloc.Cost != want.Cost {
+			t.Errorf("target %d: ILP %d, brute force %d", target, res.Alloc.Cost, want.Cost)
+		}
+	}
+}
+
+func TestILPMatchesNoSharedDP(t *testing.T) {
+	m := core.NewCostModel(noSharedProblem())
+	for target := 5; target <= 80; target += 15 {
+		res, err := ILP(m, target, nil)
+		if err != nil {
+			t.Fatalf("ILP(%d): %v", target, err)
+		}
+		dp, err := NoSharedDP(m, target)
+		if err != nil {
+			t.Fatalf("NoSharedDP(%d): %v", target, err)
+		}
+		if res.Alloc.Cost != dp.Cost {
+			t.Errorf("target %d: ILP %d, DP %d", target, res.Alloc.Cost, dp.Cost)
+		}
+	}
+}
+
+func TestILPMatchesBlackBoxDP(t *testing.T) {
+	m := core.NewCostModel(blackBoxProblem())
+	for target := 1; target <= 50; target += 7 {
+		res, err := ILP(m, target, nil)
+		if err != nil {
+			t.Fatalf("ILP(%d): %v", target, err)
+		}
+		dp, err := BlackBoxDP(m, target)
+		if err != nil {
+			t.Fatalf("BlackBoxDP(%d): %v", target, err)
+		}
+		if res.Alloc.Cost != dp.Cost {
+			t.Errorf("target %d: ILP %d, DP %d", target, res.Alloc.Cost, dp.Cost)
+		}
+	}
+}
+
+func TestILPZeroTarget(t *testing.T) {
+	m := exampleModel(t)
+	res, err := ILP(m, 0, nil)
+	if err != nil {
+		t.Fatalf("ILP(0): %v", err)
+	}
+	if res.Alloc.Cost != 0 || !res.Proven {
+		t.Errorf("ILP(0) = %+v, want zero-cost proven", res)
+	}
+}
+
+func TestILPAblationVariantsAgree(t *testing.T) {
+	m := exampleModel(t)
+	for _, target := range []int{30, 70, 110} {
+		base, err := ILP(m, target, nil)
+		if err != nil {
+			t.Fatalf("base: %v", err)
+		}
+		variants := []*ILPOptions{
+			{DisableWarmStart: true},
+			{DisableRounding: true},
+			{DisableIntegralPruning: true},
+			{DisableWarmStart: true, DisableRounding: true, DisableIntegralPruning: true},
+			{WarmStart: []int{0, 0, target}},
+		}
+		for i, opts := range variants {
+			res, err := ILP(m, target, opts)
+			if err != nil {
+				t.Fatalf("variant %d: %v", i, err)
+			}
+			if !res.Proven || res.Alloc.Cost != base.Alloc.Cost {
+				t.Errorf("variant %d target %d: cost %d proven=%v, want %d proven",
+					i, target, res.Alloc.Cost, res.Proven, base.Alloc.Cost)
+			}
+		}
+	}
+}
+
+func TestILPWarmStartLengthChecked(t *testing.T) {
+	m := exampleModel(t)
+	if _, err := ILP(m, 50, &ILPOptions{WarmStart: []int{1, 2}}); err == nil {
+		t.Error("accepted short warm start")
+	}
+}
+
+func TestILPTimeLimitKeepsWarmStart(t *testing.T) {
+	m := exampleModel(t)
+	res, err := ILP(m, 150, &ILPOptions{TimeLimit: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("ILP: %v", err)
+	}
+	// With a warm start, even an instantly expiring limit must report a
+	// feasible allocation (the H1 seed).
+	if res.Status != milp.Feasible && res.Status != milp.Optimal {
+		t.Fatalf("status = %v, want feasible or optimal", res.Status)
+	}
+	if err := m.CheckFeasible(res.Alloc, 150); err != nil {
+		t.Errorf("allocation under time limit infeasible: %v", err)
+	}
+	if res.Status == milp.Feasible && res.Gap < 0 {
+		t.Errorf("negative gap %g", res.Gap)
+	}
+}
+
+func TestBuildMILPShape(t *testing.T) {
+	m := exampleModel(t)
+	p := BuildMILP(m, 70)
+	if got, want := p.LP.NumVars(), m.J+m.Q; got != want {
+		t.Errorf("vars = %d, want %d", got, want)
+	}
+	if got, want := len(p.LP.Constraints), 1+m.Q; got != want {
+		t.Errorf("constraints = %d, want %d", got, want)
+	}
+	for _, isInt := range p.Integer {
+		if !isInt {
+			t.Fatal("all variables must be integer")
+		}
+	}
+}
+
+func TestRoundingRepairProducesFeasiblePoints(t *testing.T) {
+	m := exampleModel(t)
+	target := 73
+	rounder := RoundingRepair(m, target)
+	// A deliberately fractional, under-target point.
+	x := []float64{3.7, 10.2, 0.9, 0.1, 0.5, 0.2, 0.3}
+	y, ok := rounder(x)
+	if !ok {
+		t.Fatal("rounder refused")
+	}
+	rho := make([]int, m.J)
+	sum := 0
+	for j := range rho {
+		rho[j] = int(y[j])
+		sum += rho[j]
+	}
+	if sum < target {
+		t.Fatalf("rounded point covers %d < %d", sum, target)
+	}
+	a := m.NewAllocation(rho)
+	for q := 0; q < m.Q; q++ {
+		if int(y[m.J+q]) != a.Machines[q] {
+			t.Errorf("machine count %d = %g, want %d", q, y[m.J+q], a.Machines[q])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rentmin/internal/core"
+)
+
+// randomSharedProblem builds a small random instance in which graphs are
+// mutations of a common initial graph, so task types are shared — the
+// general (hardest) case of the paper.
+func randomSharedProblem(r *rand.Rand) *core.CostModel {
+	q := 2 + r.Intn(3)
+	j := 2 + r.Intn(2)
+	tasks := 2 + r.Intn(3)
+	base := make([]int, tasks)
+	for i := range base {
+		base[i] = r.Intn(q)
+	}
+	p := &core.Problem{Platform: core.Platform{Machines: make([]core.MachineType, q)}}
+	for i := range p.Platform.Machines {
+		p.Platform.Machines[i] = core.MachineType{Throughput: 1 + r.Intn(20), Cost: 1 + r.Intn(50)}
+	}
+	for g := 0; g < j; g++ {
+		types := append([]int(nil), base...)
+		// Mutate about half the tasks.
+		for i := range types {
+			if r.Intn(2) == 0 {
+				types[i] = r.Intn(q)
+			}
+		}
+		p.App.Graphs = append(p.App.Graphs, core.NewChain("", types...))
+	}
+	return core.NewCostModel(p)
+}
+
+// Property: ILP equals the brute-force optimum on random shared-type
+// instances and its allocation is feasible.
+func TestQuickILPOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSharedProblem(r)
+		target := 1 + r.Intn(25)
+		res, err := ILP(m, target, nil)
+		if err != nil || !res.Proven {
+			return false
+		}
+		if err := m.CheckFeasible(res.Alloc, target); err != nil {
+			return false
+		}
+		want := BruteForce(m, target)
+		return res.Alloc.Cost == want.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the optimum is monotone non-decreasing in the target.
+func TestQuickOptimumMonotoneInTarget(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSharedProblem(r)
+		target := 1 + r.Intn(20)
+		a, err := ILP(m, target, nil)
+		if err != nil || !a.Proven {
+			return false
+		}
+		b, err := ILP(m, target+1+r.Intn(5), nil)
+		if err != nil || !b.Proven {
+			return false
+		}
+		return b.Alloc.Cost >= a.Alloc.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the optimum never exceeds the best single-graph cost (H1 is an
+// upper bound) and never undercuts the LP bound Σ-free lower bound
+// target·min_j UnitRate (floor of it, as costs are integral).
+func TestQuickOptimumBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomSharedProblem(r)
+		target := 1 + r.Intn(30)
+		res, err := ILP(m, target, nil)
+		if err != nil || !res.Proven {
+			return false
+		}
+		_, h1 := BestSingleGraph(m, target)
+		if res.Alloc.Cost > h1.Cost {
+			return false
+		}
+		minRate := m.UnitRate[0]
+		for _, rate := range m.UnitRate[1:] {
+			if rate < minRate {
+				minRate = rate
+			}
+		}
+		lb := int64(float64(target) * minRate)
+		return res.Alloc.Cost >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on instances where graphs happen not to share types, the
+// Section V-B DP and the ILP agree.
+func TestQuickDPvsILPNoShared(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build disjoint-type graphs directly.
+		j := 2 + r.Intn(2)
+		perGraph := 1 + r.Intn(2)
+		q := j * perGraph
+		p := &core.Problem{Platform: core.Platform{Machines: make([]core.MachineType, q)}}
+		for i := range p.Platform.Machines {
+			p.Platform.Machines[i] = core.MachineType{Throughput: 1 + r.Intn(15), Cost: 1 + r.Intn(40)}
+		}
+		for g := 0; g < j; g++ {
+			types := make([]int, perGraph)
+			for i := range types {
+				types[i] = g*perGraph + i
+			}
+			p.App.Graphs = append(p.App.Graphs, core.NewChain("", types...))
+		}
+		m := core.NewCostModel(p)
+		target := 1 + r.Intn(30)
+		dp, err := NoSharedDP(m, target)
+		if err != nil {
+			return false
+		}
+		res, err := ILP(m, target, nil)
+		if err != nil || !res.Proven {
+			return false
+		}
+		return dp.Cost == res.Alloc.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package solve
+
+import (
+	"reflect"
+	"testing"
+
+	"rentmin/internal/core"
+)
+
+func exampleModel(t *testing.T) *core.CostModel {
+	t.Helper()
+	p := core.IllustratingExample()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("example invalid: %v", err)
+	}
+	return core.NewCostModel(p)
+}
+
+func TestSingleGraphMatchesClosedForm(t *testing.T) {
+	m := exampleModel(t)
+	a := SingleGraph(m, 1, 120)
+	if a.Cost != 199 {
+		t.Errorf("cost = %d, want 199", a.Cost)
+	}
+	if err := m.CheckFeasible(a, 120); err != nil {
+		t.Errorf("CheckFeasible: %v", err)
+	}
+	if a.GraphThroughput[1] != 120 || a.GraphThroughput[0] != 0 || a.GraphThroughput[2] != 0 {
+		t.Errorf("throughputs = %v", a.GraphThroughput)
+	}
+}
+
+func TestBestSingleGraphTableIII(t *testing.T) {
+	m := exampleModel(t)
+	// H1 column of Table III.
+	want := map[int]int64{
+		10: 28, 50: 104, 70: 138, 120: 199, 160: 276, 200: 340,
+	}
+	for target, cost := range want {
+		_, a := BestSingleGraph(m, target)
+		if a.Cost != cost {
+			t.Errorf("BestSingleGraph(%d) cost = %d, want %d", target, a.Cost, cost)
+		}
+		if err := m.CheckFeasible(a, target); err != nil {
+			t.Errorf("target %d: %v", target, err)
+		}
+	}
+}
+
+func TestIndependentApps(t *testing.T) {
+	m := exampleModel(t)
+	a, err := IndependentApps(m, []int{10, 30, 30})
+	if err != nil {
+		t.Fatalf("IndependentApps: %v", err)
+	}
+	if a.Cost != 124 {
+		t.Errorf("cost = %d, want 124 (paper worked example)", a.Cost)
+	}
+	if _, err := IndependentApps(m, []int{1, 2}); err == nil {
+		t.Error("accepted wrong-length targets")
+	}
+	if _, err := IndependentApps(m, []int{-1, 0, 0}); err == nil {
+		t.Error("accepted negative target")
+	}
+}
+
+func TestSharesTypes(t *testing.T) {
+	m := exampleModel(t)
+	if !SharesTypes(m) {
+		t.Error("illustrating example shares types (t2 between phi1 and phi3) but SharesTypes says no")
+	}
+	p := &core.Problem{
+		App: core.Application{Graphs: []core.Graph{
+			core.NewChain("a", 0, 1),
+			core.NewChain("b", 2, 3),
+		}},
+		Platform: core.Platform{Machines: []core.MachineType{
+			{Throughput: 1, Cost: 1}, {Throughput: 1, Cost: 1},
+			{Throughput: 1, Cost: 1}, {Throughput: 1, Cost: 1},
+		}},
+	}
+	if SharesTypes(core.NewCostModel(p)) {
+		t.Error("disjoint graphs reported as sharing")
+	}
+}
+
+func blackBoxProblem() *core.Problem {
+	// Three single-task graphs with private types; machine data chosen so
+	// mixing is optimal: r=(7,5,3), c=(9,6,4).
+	return &core.Problem{
+		App: core.Application{Graphs: []core.Graph{
+			core.NewChain("g0", 0),
+			core.NewChain("g1", 1),
+			core.NewChain("g2", 2),
+		}},
+		Platform: core.Platform{Machines: []core.MachineType{
+			{Throughput: 7, Cost: 9},
+			{Throughput: 5, Cost: 6},
+			{Throughput: 3, Cost: 4},
+		}},
+	}
+}
+
+func TestBlackBoxDPMatchesBruteForce(t *testing.T) {
+	m := core.NewCostModel(blackBoxProblem())
+	if !IsBlackBox(m) {
+		t.Fatal("blackBoxProblem is not black-box")
+	}
+	for target := 0; target <= 40; target++ {
+		a, err := BlackBoxDP(m, target)
+		if err != nil {
+			t.Fatalf("BlackBoxDP(%d): %v", target, err)
+		}
+		if err := m.CheckFeasible(a, target); err != nil {
+			t.Fatalf("target %d infeasible: %v", target, err)
+		}
+		want := BruteForce(m, target)
+		if a.Cost != want.Cost {
+			t.Errorf("target %d: DP cost %d, brute force %d", target, a.Cost, want.Cost)
+		}
+	}
+}
+
+func TestBlackBoxDPRejectsNonBlackBox(t *testing.T) {
+	m := exampleModel(t)
+	if _, err := BlackBoxDP(m, 10); err == nil {
+		t.Error("BlackBoxDP accepted a multi-task application")
+	}
+	// Single-task graphs sharing a type are also rejected.
+	p := &core.Problem{
+		App: core.Application{Graphs: []core.Graph{
+			core.NewChain("a", 0),
+			core.NewChain("b", 0),
+		}},
+		Platform: core.Platform{Machines: []core.MachineType{{Throughput: 2, Cost: 1}}},
+	}
+	if _, err := BlackBoxDP(core.NewCostModel(p), 5); err == nil {
+		t.Error("BlackBoxDP accepted shared types")
+	}
+}
+
+func noSharedProblem() *core.Problem {
+	// Two multi-task graphs over disjoint types.
+	return &core.Problem{
+		App: core.Application{Graphs: []core.Graph{
+			core.NewChain("g0", 0, 1, 0), // types 0,1
+			core.NewChain("g1", 2, 3),    // types 2,3
+		}},
+		Platform: core.Platform{Machines: []core.MachineType{
+			{Throughput: 10, Cost: 10},
+			{Throughput: 20, Cost: 18},
+			{Throughput: 30, Cost: 25},
+			{Throughput: 40, Cost: 33},
+		}},
+	}
+}
+
+func TestNoSharedDPMatchesBruteForce(t *testing.T) {
+	m := core.NewCostModel(noSharedProblem())
+	for target := 0; target <= 60; target += 3 {
+		a, err := NoSharedDP(m, target)
+		if err != nil {
+			t.Fatalf("NoSharedDP(%d): %v", target, err)
+		}
+		if err := m.CheckFeasible(a, target); err != nil {
+			t.Fatalf("target %d infeasible: %v", target, err)
+		}
+		want := BruteForce(m, target)
+		if a.Cost != want.Cost {
+			t.Errorf("target %d: DP cost %d, brute force %d", target, a.Cost, want.Cost)
+		}
+	}
+}
+
+func TestNoSharedDPRejectsSharedTypes(t *testing.T) {
+	m := exampleModel(t)
+	if _, err := NoSharedDP(m, 50); err != ErrSharedTypes {
+		t.Errorf("err = %v, want ErrSharedTypes", err)
+	}
+}
+
+func TestBruteForceSmall(t *testing.T) {
+	m := exampleModel(t)
+	a := BruteForce(m, 10)
+	if a.Cost != 28 {
+		t.Errorf("BruteForce(10) cost = %d, want 28", a.Cost)
+	}
+	if got := a.TotalThroughput(); got != 10 {
+		t.Errorf("total throughput = %d, want 10", got)
+	}
+	want := []int{0, 0, 10}
+	if !reflect.DeepEqual(a.GraphThroughput, want) {
+		t.Errorf("throughputs = %v, want %v", a.GraphThroughput, want)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean([1..4]) != 2.5")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Sample stddev of {2,4,4,4,5,5,7,9} is ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %g, want ~2.138", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %g/%g", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{5, 1, 3}), 3) {
+		t.Error("odd median wrong")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	// Median must not reorder its input.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}
+
+// Property: Welford matches the two-pass formulas.
+func TestQuickWelfordMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = r.NormFloat64()*10 + 5
+			w.Add(xs[i])
+		}
+		return w.N() == n &&
+			math.Abs(w.Mean()-Mean(xs)) < 1e-9 &&
+			math.Abs(w.StdDev()-StdDev(xs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.StdDev() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford not neutral")
+	}
+}

@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"rentmin/internal/core"
+)
+
+// twoMachinePool: one single-task recipe on a pool of two machines,
+// injected at exactly the two-machine capacity.
+func twoMachinePool() (*core.Problem, core.Allocation) {
+	p := &core.Problem{
+		App: core.Application{Graphs: []core.Graph{core.NewChain("g", 0)}},
+		Platform: core.Platform{Machines: []core.MachineType{
+			{Throughput: 10, Cost: 1},
+		}},
+	}
+	m := core.NewCostModel(p)
+	return p, m.NewAllocation([]int{20}) // 2 machines
+}
+
+func TestOutageReducesThroughput(t *testing.T) {
+	p, alloc := twoMachinePool()
+	base, err := Simulate(Config{Problem: p, Alloc: alloc, Duration: 40, Warmup: 0}, nil)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	// One of two machines down for half the horizon: capacity drops from
+	// 20 to 15 items/t.u. on average.
+	down, err := Simulate(Config{
+		Problem: p, Alloc: alloc, Duration: 40, Warmup: 0,
+		Outages: []Outage{{Type: 0, Start: 0, Duration: 20}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("outage run: %v", err)
+	}
+	if down.Throughput >= base.Throughput {
+		t.Errorf("outage did not reduce throughput: %g >= %g", down.Throughput, base.Throughput)
+	}
+	// Average capacity 15/t.u.: expect roughly that completion rate
+	// (the post-outage machine also works through the backlog).
+	if math.Abs(down.Throughput-15) > 1.5 {
+		t.Errorf("outage throughput = %g, want ~15", down.Throughput)
+	}
+	// Conservation still holds: the pipeline drains after the source stops.
+	if down.ItemsCompleted != down.ItemsInjected || !down.InOrder {
+		t.Errorf("outage broke conservation/order: %+v", down)
+	}
+}
+
+func TestOutageOnIdlePoolHarmless(t *testing.T) {
+	p, alloc := twoMachinePool()
+	// Inject at half capacity; losing one machine briefly changes nothing
+	// much because one machine suffices.
+	alloc2 := core.NewCostModel(p).NewAllocation([]int{10})
+	alloc2.Machines[0] = 2
+	alloc2.Cost = 2
+	_ = alloc
+	met, err := Simulate(Config{
+		Problem: p, Alloc: alloc2, Duration: 40, Warmup: 10,
+		Outages: []Outage{{Type: 0, Start: 15, Duration: 10}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if met.Throughput < 9.5 {
+		t.Errorf("throughput = %g, want ~10 (outage of a redundant machine)", met.Throughput)
+	}
+}
+
+func TestStackedOutagesStopPoolThenRecover(t *testing.T) {
+	p, alloc := twoMachinePool()
+	// Both machines down in [5,10): nothing completes in that window, the
+	// backlog drains afterwards.
+	met, err := Simulate(Config{
+		Problem: p, Alloc: alloc, Duration: 30, Warmup: 0,
+		Outages: []Outage{
+			{Type: 0, Start: 5, Duration: 5},
+			{Type: 0, Start: 5, Duration: 5},
+		},
+	}, nil)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if met.ItemsCompleted != met.ItemsInjected {
+		t.Errorf("pipeline did not drain: %d/%d", met.ItemsCompleted, met.ItemsInjected)
+	}
+	if !met.InOrder {
+		t.Error("recovery broke ordering")
+	}
+	// 5 of 30 time units fully dark on a saturated pool: expect a
+	// visible throughput dent in the measurement window.
+	if met.Throughput > 19.5 {
+		t.Errorf("throughput = %g despite a full blackout window", met.Throughput)
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	p, alloc := twoMachinePool()
+	bad := []Outage{
+		{Type: 5, Start: 0, Duration: 1},  // unknown type
+		{Type: 0, Start: -1, Duration: 1}, // negative start
+		{Type: 0, Start: 0, Duration: 0},  // empty window
+	}
+	for i, o := range bad {
+		_, err := Simulate(Config{
+			Problem: p, Alloc: alloc, Duration: 10, Outages: []Outage{o},
+		}, nil)
+		if err == nil {
+			t.Errorf("outage %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestOutageOnOptimalAllocationMissesTarget(t *testing.T) {
+	// The paper's ρ=70 optimum has every pool saturated: any outage must
+	// push measured throughput below the target.
+	problem := core.IllustratingExample()
+	m := core.NewCostModel(problem)
+	alloc := m.NewAllocation([]int{10, 30, 30}) // the paper's optimum at 70
+	met, err := Simulate(Config{
+		Problem: problem, Alloc: alloc, Duration: 60, Warmup: 10,
+		Outages: []Outage{{Type: 3, Start: 20, Duration: 20}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if met.Throughput >= 70 {
+		t.Errorf("throughput %g unchanged by outage on a saturated pool", met.Throughput)
+	}
+	if met.ItemsCompleted != met.ItemsInjected || !met.InOrder {
+		t.Errorf("outage broke conservation/order: %+v", met)
+	}
+}

@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rentmin/internal/core"
+	"rentmin/internal/graphgen"
+	"rentmin/internal/rng"
+)
+
+// randomInstance builds a random generated problem plus an allocation that
+// satisfies the paper's constraints.
+func randomInstance(r *rand.Rand) (*core.Problem, core.Allocation) {
+	cfg := graphgen.Config{
+		NumGraphs:     1 + r.Intn(4),
+		MinTasks:      1 + r.Intn(3),
+		MaxTasks:      2 + r.Intn(4),
+		MutatePercent: 0.5,
+		NumTypes:      1 + r.Intn(4),
+		CostMin:       1, CostMax: 20,
+		ThroughputMin: 2, ThroughputMax: 20,
+		ExtraEdgeProb: 0.2,
+	}
+	if cfg.MaxTasks < cfg.MinTasks {
+		cfg.MaxTasks = cfg.MinTasks
+	}
+	p, err := graphgen.Generate(cfg, rng.New(r.Uint64()))
+	if err != nil {
+		panic(err)
+	}
+	m := core.NewCostModel(p)
+	rho := make([]int, m.J)
+	for j := range rho {
+		rho[j] = r.Intn(8)
+	}
+	return p, m.NewAllocation(rho)
+}
+
+// Property: conservation — every injected item completes and is released
+// exactly once, in order, for any feasible allocation.
+func TestQuickConservationAndOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, alloc := randomInstance(r)
+		met, err := Simulate(Config{Problem: p, Alloc: alloc, Duration: 8}, nil)
+		if err != nil {
+			return false
+		}
+		return met.ItemsCompleted == met.ItemsInjected &&
+			met.ItemsReleased == met.ItemsInjected &&
+			met.InOrder
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: measured throughput never exceeds the injection rate, and
+// utilizations stay in [0,1].
+func TestQuickThroughputAndUtilizationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, alloc := randomInstance(r)
+		met, err := Simulate(Config{Problem: p, Alloc: alloc, Duration: 10, Warmup: 2}, nil)
+		if err != nil {
+			return false
+		}
+		rate := float64(alloc.TotalThroughput())
+		// A few backlogged items can complete just after the warmup
+		// boundary, so the window count may exceed rate·window slightly.
+		window := 10.0 - 2.0
+		if met.Throughput > rate+2.5/window+1e-9 {
+			return false
+		}
+		for _, u := range met.Utilization {
+			if u < 0 || u > 1 {
+				return false
+			}
+		}
+		// FP accumulation can push the mean a few ulps past the max when
+		// every latency is identical.
+		return met.MaxLatency >= met.MeanLatency-1e-9 || met.ItemsCompleted == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a feasible allocation (per the paper's constraints) sustains
+// at least 90% of its own total throughput over a long horizon.
+func TestQuickFeasibleAllocationsSustainRate(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, alloc := randomInstance(r)
+		total := alloc.TotalThroughput()
+		if total == 0 {
+			return true
+		}
+		met, err := Simulate(Config{Problem: p, Alloc: alloc, Duration: 30, Warmup: 10}, nil)
+		if err != nil {
+			return false
+		}
+		return met.Throughput >= 0.9*float64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the simulator is deterministic without jitter.
+func TestQuickDeterministicWithoutJitter(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, alloc := randomInstance(r)
+		a, err := Simulate(Config{Problem: p, Alloc: alloc, Duration: 6}, nil)
+		if err != nil {
+			return false
+		}
+		b, err := Simulate(Config{Problem: p, Alloc: alloc, Duration: 6}, nil)
+		if err != nil {
+			return false
+		}
+		return a.ItemsInjected == b.ItemsInjected &&
+			a.Throughput == b.Throughput &&
+			a.MeanLatency == b.MeanLatency &&
+			a.ReorderMax == b.ReorderMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,66 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rentmin/internal/rng"
+)
+
+// Replication pairs a seed with the metrics it produced.
+type Replication struct {
+	Seed    uint64
+	Metrics Metrics
+}
+
+// RunReplications runs independent simulation replications in parallel,
+// one per seed, using at most workers goroutines (0 picks GOMAXPROCS).
+// Results are returned in seed order and each replication is
+// deterministic in its seed.
+func RunReplications(cfg Config, seeds []uint64, workers int) ([]Replication, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	out := make([]Replication, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				met, err := Simulate(cfg, rng.New(seeds[i]))
+				out[i] = Replication{Seed: seeds[i], Metrics: met}
+				errs[i] = err
+			}
+		}()
+	}
+	for i := range seeds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("replication %d (seed %d): %w", i, seeds[i], err)
+		}
+	}
+	return out, nil
+}
+
+// MeanThroughput averages the measured throughput across replications.
+func MeanThroughput(reps []Replication) float64 {
+	if len(reps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range reps {
+		sum += r.Metrics.Throughput
+	}
+	return sum / float64(len(reps))
+}

@@ -1,0 +1,384 @@
+package stream
+
+import (
+	"container/heap"
+
+	"rentmin/internal/core"
+	"rentmin/internal/rng"
+)
+
+// eventKind discriminates heap entries.
+type eventKind int8
+
+const (
+	evArrival eventKind = iota
+	evTaskDone
+	evOutageStart
+	evOutageEnd
+)
+
+// event is one scheduled occurrence. seq breaks time ties deterministically
+// in schedule order.
+type event struct {
+	time float64
+	seq  int64
+	kind eventKind
+	item *item
+	task int // task ID for evTaskDone; machine type for outage events
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// compiledGraph caches per-graph DAG structure.
+type compiledGraph struct {
+	types  []int
+	succ   [][]int
+	indeg  []int
+	greedy []int // task IDs with zero in-degree (ready on arrival)
+}
+
+// item is one data instance flowing through a recipe.
+type item struct {
+	seq       int
+	graph     int
+	arrival   float64
+	pending   []int // remaining predecessor count per task
+	remaining int   // tasks left
+	done      float64
+}
+
+// taskRef is a ready task waiting for (or holding) a server.
+type taskRef struct {
+	it   *item
+	task int
+}
+
+// pool is the multi-server queue of one machine type.
+type pool struct {
+	free    int
+	service float64 // 1/r_q
+	queue   []taskRef
+	busy    float64 // accumulated service time
+	qhead   int
+	// debt counts servers that must go offline as soon as they become
+	// free (outages hitting busy machines).
+	debt int
+}
+
+func (p *pool) push(r taskRef) { p.queue = append(p.queue, r) }
+
+func (p *pool) pop() (taskRef, bool) {
+	if p.qhead >= len(p.queue) {
+		return taskRef{}, false
+	}
+	r := p.queue[p.qhead]
+	p.queue[p.qhead] = taskRef{}
+	p.qhead++
+	if p.qhead > 1024 && p.qhead*2 > len(p.queue) {
+		p.queue = append(p.queue[:0], p.queue[p.qhead:]...)
+		p.qhead = 0
+	}
+	return r, true
+}
+
+type sim struct {
+	cfg    Config
+	m      *core.CostModel
+	src    *rng.Source
+	graphs []compiledGraph
+	pools  []*pool
+
+	events eventHeap
+	eseq   int64
+	now    float64
+
+	// Weighted round-robin dispatch state.
+	weights []int
+	credits []int
+	totalW  int
+
+	injected  int
+	completed int
+	inWindow  int
+
+	// Reorder buffer.
+	waiting     map[int]bool
+	nextRelease int
+	released    int
+	inOrder     bool
+	reorderMax  int
+	reorderArea float64 // ∫ occupancy dt
+	lastBufT    float64
+
+	latSum float64
+	latMax float64
+	mkspan float64
+}
+
+func newSim(cfg Config, m *core.CostModel, src *rng.Source) *sim {
+	s := &sim{
+		cfg:     cfg,
+		m:       m,
+		src:     src,
+		waiting: map[int]bool{},
+		inOrder: true,
+	}
+	s.graphs = make([]compiledGraph, m.J)
+	for j, g := range cfg.Problem.App.Graphs {
+		cg := compiledGraph{
+			types: make([]int, len(g.Tasks)),
+			succ:  g.Successors(),
+			indeg: g.InDegrees(),
+		}
+		for i, task := range g.Tasks {
+			cg.types[i] = task.Type
+		}
+		for i, d := range cg.indeg {
+			if d == 0 {
+				cg.greedy = append(cg.greedy, i)
+			}
+		}
+		s.graphs[j] = cg
+	}
+	s.pools = make([]*pool, m.Q)
+	for q := 0; q < m.Q; q++ {
+		s.pools[q] = &pool{
+			free:    cfg.Alloc.Machines[q],
+			service: 1.0 / float64(m.R[q]),
+		}
+	}
+	s.weights = append([]int(nil), cfg.Alloc.GraphThroughput...)
+	s.credits = make([]int, m.J)
+	for _, w := range s.weights {
+		s.totalW += w
+	}
+	return s
+}
+
+// schedule pushes an event.
+func (s *sim) schedule(t float64, kind eventKind, it *item, task int) {
+	s.eseq++
+	heap.Push(&s.events, &event{time: t, seq: s.eseq, kind: kind, item: it, task: task})
+}
+
+// dispatch picks the next graph by smooth weighted round robin, matching
+// the per-graph throughput ratios deterministically.
+func (s *sim) dispatch() int {
+	best := -1
+	for j := range s.credits {
+		if s.weights[j] == 0 {
+			continue
+		}
+		s.credits[j] += s.weights[j]
+		if best < 0 || s.credits[j] > s.credits[best] {
+			best = j
+		}
+	}
+	s.credits[best] -= s.totalW
+	return best
+}
+
+func (s *sim) run() {
+	if s.totalW == 0 {
+		return
+	}
+	s.schedule(0, evArrival, nil, 0)
+	for _, o := range s.cfg.Outages {
+		s.schedule(o.Start, evOutageStart, nil, o.Type)
+		s.schedule(o.Start+o.Duration, evOutageEnd, nil, o.Type)
+	}
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.time
+		switch e.kind {
+		case evArrival:
+			s.arrive()
+		case evTaskDone:
+			s.taskDone(e.item, e.task)
+		case evOutageStart:
+			s.outageStart(e.task)
+		case evOutageEnd:
+			s.outageEnd(e.task)
+		}
+	}
+}
+
+// outageStart takes one machine of the type offline: an idle server
+// leaves immediately, a busy one finishes its task first (debt).
+func (s *sim) outageStart(q int) {
+	p := s.pools[q]
+	if p.free > 0 {
+		p.free--
+		return
+	}
+	p.debt++
+}
+
+// outageEnd returns one machine: it either cancels a pending debt or
+// comes back to work, immediately picking up a queued task if any.
+func (s *sim) outageEnd(q int) {
+	p := s.pools[q]
+	if p.debt > 0 {
+		p.debt--
+		return
+	}
+	if ref, ok := p.pop(); ok {
+		p.busy += p.service
+		s.schedule(s.now+p.service, evTaskDone, ref.it, ref.task)
+		return
+	}
+	p.free++
+}
+
+// arrive injects one item and schedules the next arrival while the source
+// is open.
+func (s *sim) arrive() {
+	j := s.dispatch()
+	g := &s.graphs[j]
+	it := &item{
+		seq:       s.injected,
+		graph:     j,
+		arrival:   s.now,
+		pending:   append([]int(nil), g.indeg...),
+		remaining: len(g.types),
+	}
+	s.injected++
+	for _, task := range g.greedy {
+		s.startOrQueue(it, task)
+	}
+	dt := 1.0 / float64(s.totalW)
+	if s.cfg.ArrivalJitter > 0 {
+		dt *= 1 + s.cfg.ArrivalJitter*(2*s.src.Float64()-1)
+	}
+	if next := s.now + dt; next < s.cfg.Duration {
+		s.schedule(next, evArrival, nil, 0)
+	}
+}
+
+// startOrQueue gives the ready task a server or parks it in the pool FIFO.
+func (s *sim) startOrQueue(it *item, task int) {
+	q := s.graphs[it.graph].types[task]
+	p := s.pools[q]
+	if p.free > 0 {
+		p.free--
+		p.busy += p.service
+		s.schedule(s.now+p.service, evTaskDone, it, task)
+		return
+	}
+	p.push(taskRef{it: it, task: task})
+}
+
+// taskDone finishes one task: frees the server for the next queued task
+// and propagates readiness through the item's DAG.
+func (s *sim) taskDone(it *item, task int) {
+	g := &s.graphs[it.graph]
+	q := g.types[task]
+	p := s.pools[q]
+	switch {
+	case p.debt > 0:
+		p.debt-- // this server goes offline instead of taking new work
+	default:
+		if ref, ok := p.pop(); ok {
+			p.busy += p.service
+			s.schedule(s.now+p.service, evTaskDone, ref.it, ref.task)
+		} else {
+			p.free++
+		}
+	}
+	for _, succ := range g.succ[task] {
+		it.pending[succ]--
+		if it.pending[succ] == 0 {
+			s.startOrQueue(it, succ)
+		}
+	}
+	it.remaining--
+	if it.remaining == 0 {
+		s.completeItem(it)
+	}
+}
+
+// completeItem records metrics and pushes the item through the reorder
+// buffer.
+func (s *sim) completeItem(it *item) {
+	it.done = s.now
+	s.completed++
+	if s.now >= s.cfg.Warmup && s.now <= s.cfg.Duration {
+		s.inWindow++
+	}
+	lat := s.now - it.arrival
+	s.latSum += lat
+	if lat > s.latMax {
+		s.latMax = lat
+	}
+	if s.now > s.mkspan {
+		s.mkspan = s.now
+	}
+	s.bufAccount()
+	s.waiting[it.seq] = true
+	if len(s.waiting) > s.reorderMax {
+		s.reorderMax = len(s.waiting)
+	}
+	for s.waiting[s.nextRelease] {
+		delete(s.waiting, s.nextRelease)
+		s.nextRelease++
+		s.released++
+	}
+}
+
+// bufAccount integrates reorder-buffer occupancy over time.
+func (s *sim) bufAccount() {
+	s.reorderArea += float64(len(s.waiting)) * (s.now - s.lastBufT)
+	s.lastBufT = s.now
+}
+
+func (s *sim) metrics() Metrics {
+	s.bufAccount()
+	window := s.cfg.Duration - s.cfg.Warmup
+	met := Metrics{
+		ItemsInjected:  s.injected,
+		ItemsCompleted: s.completed,
+		ItemsReleased:  s.released,
+		Throughput:     float64(s.inWindow) / window,
+		MaxLatency:     s.latMax,
+		InOrder:        s.inOrder && s.released == s.completed,
+		ReorderMax:     s.reorderMax,
+		Makespan:       s.mkspan,
+	}
+	if s.completed > 0 {
+		met.MeanLatency = s.latSum / float64(s.completed)
+	}
+	if s.mkspan > 0 {
+		met.ReorderMean = s.reorderArea / s.mkspan
+	}
+	met.Utilization = make([]float64, s.m.Q)
+	for q, p := range s.pools {
+		x := s.cfg.Alloc.Machines[q]
+		if x == 0 {
+			continue
+		}
+		u := p.busy / (float64(x) * s.cfg.Duration)
+		if u > 1 {
+			u = 1
+		}
+		met.Utilization[q] = u
+	}
+	return met
+}

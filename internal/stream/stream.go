@@ -1,0 +1,134 @@
+// Package stream is a discrete-event simulator for the paper's execution
+// model: a steady stream of data items enters the system, each item is
+// processed by one of the alternative recipe graphs, every task runs on a
+// machine pool of its type (x_q identical servers of throughput r_q), and
+// finished items leave through a reorder buffer that restores arrival
+// order (Section I assumes this buffer exists; here it is measured).
+//
+// The simulator validates allocations end to end: an allocation that
+// satisfies the paper's constraints (1) and (2) must sustain the target
+// throughput in simulation, and removing one machine of a saturated type
+// must break it.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"rentmin/internal/core"
+	"rentmin/internal/rng"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Problem supplies the recipe graphs and machine types.
+	Problem *core.Problem
+	// Alloc is the allocation under test. Items are injected at its total
+	// throughput and dispatched to graphs proportionally to ρ_j.
+	Alloc core.Allocation
+	// Duration is the injection horizon in time units. After Duration the
+	// source stops and the pipeline drains.
+	Duration float64
+	// Warmup excludes the pipeline-fill transient from the throughput
+	// window [Warmup, Duration].
+	Warmup float64
+	// ArrivalJitter in [0,1) randomizes each interarrival time by a
+	// uniform factor in [1-j, 1+j]; zero keeps arrivals periodic.
+	ArrivalJitter float64
+	// Outages optionally take machines offline for a while (e.g. spot
+	// instance revocations), exercising degraded operation. A busy
+	// machine finishes its current task before going offline.
+	Outages []Outage
+}
+
+// Outage removes one machine of the given type during
+// [Start, Start+Duration). Overlapping outages on the same type stack:
+// each removes one more machine (down to zero, with the deficit restored
+// as outages end).
+type Outage struct {
+	Type     int
+	Start    float64
+	Duration float64
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	ItemsInjected  int
+	ItemsCompleted int
+	ItemsReleased  int
+	// Throughput is items completed inside [Warmup, Duration] divided by
+	// the window length.
+	Throughput float64
+	// MeanLatency and MaxLatency are per-item arrival-to-completion times.
+	MeanLatency float64
+	MaxLatency  float64
+	// Utilization[q] is busy time of pool q divided by x_q·Duration,
+	// clamped to [0,1]; pools with zero machines report zero.
+	Utilization []float64
+	// ReorderMax is the peak occupancy of the reorder buffer and
+	// ReorderMean its time-weighted average.
+	ReorderMax  int
+	ReorderMean float64
+	// InOrder confirms items left the reorder buffer in arrival order.
+	InOrder bool
+	// Makespan is the time the last item completed.
+	Makespan float64
+}
+
+func (c Config) validate() (*core.CostModel, error) {
+	if c.Problem == nil {
+		return nil, errors.New("stream: nil problem")
+	}
+	if err := c.Problem.Validate(); err != nil {
+		return nil, err
+	}
+	m := core.NewCostModel(c.Problem)
+	if len(c.Alloc.GraphThroughput) != m.J || len(c.Alloc.Machines) != m.Q {
+		return nil, errors.New("stream: allocation shape does not match problem")
+	}
+	if c.Duration <= 0 {
+		return nil, errors.New("stream: non-positive duration")
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return nil, fmt.Errorf("stream: warmup %g outside [0, duration)", c.Warmup)
+	}
+	if c.ArrivalJitter < 0 || c.ArrivalJitter >= 1 {
+		return nil, fmt.Errorf("stream: jitter %g outside [0,1)", c.ArrivalJitter)
+	}
+	for i, o := range c.Outages {
+		if o.Type < 0 || o.Type >= m.Q {
+			return nil, fmt.Errorf("stream: outage %d targets unknown type %d", i, o.Type)
+		}
+		if o.Start < 0 || o.Duration <= 0 {
+			return nil, fmt.Errorf("stream: outage %d has invalid window [%g, %g+%g)", i, o.Start, o.Start, o.Duration)
+		}
+	}
+	// Every type demanded by a graph with positive throughput needs at
+	// least one machine, otherwise the pipeline can never drain.
+	for j, r := range c.Alloc.GraphThroughput {
+		if r <= 0 {
+			continue
+		}
+		for q, n := range m.N[j] {
+			if n > 0 && c.Alloc.Machines[q] == 0 {
+				return nil, fmt.Errorf("stream: graph %d needs type %d but allocation has zero machines", j, q)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Simulate runs one replication. src drives arrival jitter only; with
+// ArrivalJitter == 0 the run is fully deterministic and src may be nil.
+func Simulate(cfg Config, src *rng.Source) (Metrics, error) {
+	m, err := cfg.validate()
+	if err != nil {
+		return Metrics{}, err
+	}
+	if cfg.ArrivalJitter > 0 && src == nil {
+		return Metrics{}, errors.New("stream: jitter requires a random source")
+	}
+	s := newSim(cfg, m, src)
+	s.run()
+	return s.metrics(), nil
+}

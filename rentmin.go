@@ -1,0 +1,222 @@
+// Package rentmin is a Go implementation of the scheduling system from
+// "Minimizing Rental Cost for Multiple Recipe Applications in the Cloud"
+// (Hanna, Marchal, Nicod, Philippe, Rehn-Sonigo, Sabbah — IPDPS Workshops
+// 2016).
+//
+// A streaming application can be computed by any of several alternative
+// recipe graphs (DAGs of typed tasks). A cloud offers one machine type per
+// task type with an hourly price c_q and a per-machine throughput r_q.
+// rentmin decides how to split a target output throughput ρ across the
+// recipes and how many machines of each type to rent so that the hourly
+// rental cost is minimal.
+//
+// # Quick start
+//
+//	problem := rentmin.IllustratingExample() // Section VII of the paper
+//	problem.Target = 70
+//	sol, err := rentmin.Solve(problem, nil)  // exact (branch and bound)
+//	if err != nil { ... }
+//	fmt.Println(sol.Alloc.Cost)              // 124
+//
+// Heuristics from the paper (H1, H2, H31, H32, H32Jump) are available via
+// Heuristic, and special problem shapes have dedicated exact solvers
+// (SolveBlackBox, SolveNoShared). The stream subpackage-backed Simulate
+// validates that an allocation really sustains the target throughput on a
+// discrete-event model of the machine pools.
+package rentmin
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rentmin/internal/core"
+	"rentmin/internal/graphgen"
+	"rentmin/internal/heuristics"
+	"rentmin/internal/rng"
+	"rentmin/internal/solve"
+	"rentmin/internal/stream"
+)
+
+// Re-exported model types. See internal/core for full documentation.
+type (
+	// Task is one node of a recipe graph.
+	Task = core.Task
+	// Edge is a precedence constraint between tasks of one graph.
+	Edge = core.Edge
+	// Graph is one recipe (a DAG of typed tasks).
+	Graph = core.Graph
+	// MachineType is one cloud instance type (throughput and price).
+	MachineType = core.MachineType
+	// Platform is the set of machine types.
+	Platform = core.Platform
+	// Application is a set of alternative recipes for the same result.
+	Application = core.Application
+	// Problem is a full MinCost instance: application, platform, target.
+	Problem = core.Problem
+	// Allocation is a solution: per-graph throughputs, machine counts, cost.
+	Allocation = core.Allocation
+	// CostModel is the compiled cost evaluator of a problem.
+	CostModel = core.CostModel
+	// GenConfig parameterizes random instance generation (Section VIII-A).
+	GenConfig = graphgen.Config
+	// HeuristicOptions tunes the Section VI heuristics.
+	HeuristicOptions = heuristics.Options
+	// SimConfig parameterizes the stream execution simulator.
+	SimConfig = stream.Config
+	// SimMetrics reports the simulator's measurements.
+	SimMetrics = stream.Metrics
+	// Outage takes a machine offline for a while in the simulator
+	// (e.g. a spot-instance revocation).
+	Outage = stream.Outage
+)
+
+// NewChain builds a linear recipe whose i-th task has the i-th type.
+func NewChain(name string, types ...int) Graph { return core.NewChain(name, types...) }
+
+// NewCostModel compiles a validated problem for repeated cost evaluation.
+func NewCostModel(p *Problem) *CostModel { return core.NewCostModel(p) }
+
+// IllustratingExample returns the Section VII example (Figure 2 recipes on
+// the Table II platform). Set Target before solving.
+func IllustratingExample() *Problem { return core.IllustratingExample() }
+
+// Generate draws a random problem instance per Section VIII-A.
+func Generate(cfg GenConfig, seed uint64) (*Problem, error) {
+	return graphgen.Generate(cfg, rng.New(seed))
+}
+
+// LoadProblem reads and validates a problem from a JSON file.
+func LoadProblem(path string) (*Problem, error) { return core.LoadProblemFile(path) }
+
+// SaveProblem writes a problem to a JSON file.
+func SaveProblem(path string, p *Problem) error { return core.SaveProblemFile(path, p) }
+
+// ReadProblem decodes and validates a problem from JSON.
+func ReadProblem(r io.Reader) (*Problem, error) { return core.ReadProblem(r) }
+
+// WriteProblem encodes a problem as indented JSON.
+func WriteProblem(w io.Writer, p *Problem) error { return core.WriteProblem(w, p) }
+
+// SolveOptions tunes the exact solver.
+type SolveOptions struct {
+	// TimeLimit bounds the branch-and-bound search; zero means unlimited.
+	// When the limit stops the search the best allocation found so far is
+	// returned with Proven == false.
+	TimeLimit time.Duration
+	// WarmStart optionally seeds the search with per-graph throughputs.
+	WarmStart []int
+}
+
+// Solution is the outcome of the exact solver.
+type Solution struct {
+	Alloc Allocation
+	// Proven indicates the allocation is proven optimal.
+	Proven bool
+	// Bound is the proven lower bound on the optimal cost.
+	Bound float64
+	// Nodes counts explored branch-and-bound nodes.
+	Nodes int
+	// Elapsed is the solver wall-clock time.
+	Elapsed time.Duration
+}
+
+// Solve computes a minimum-cost allocation for the problem's Target using
+// the integer-programming path (general shared-type case, Section V-C).
+func Solve(p *Problem, opts *SolveOptions) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	m := core.NewCostModel(p)
+	var iopts solve.ILPOptions
+	if opts != nil {
+		iopts.TimeLimit = opts.TimeLimit
+		iopts.WarmStart = opts.WarmStart
+	}
+	res, err := solve.ILP(m, p.Target, &iopts)
+	if err != nil {
+		return Solution{}, err
+	}
+	if res.Alloc.GraphThroughput == nil {
+		return Solution{}, fmt.Errorf("rentmin: no feasible allocation found (status %v)", res.Status)
+	}
+	return Solution{
+		Alloc:   res.Alloc,
+		Proven:  res.Proven,
+		Bound:   res.Bound,
+		Nodes:   res.Nodes,
+		Elapsed: res.Elapsed,
+	}, nil
+}
+
+// SolveBlackBox solves the Section V-A special case (each recipe is a
+// single task of a private type) with the covering-knapsack DP.
+func SolveBlackBox(p *Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	return solve.BlackBoxDP(core.NewCostModel(p), p.Target)
+}
+
+// SolveNoShared solves the Section V-B special case (recipes do not share
+// task types) with the pseudo-polynomial dynamic program.
+func SolveNoShared(p *Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	return solve.NoSharedDP(core.NewCostModel(p), p.Target)
+}
+
+// SolveIndependent solves Section IV-B: every recipe is an independent
+// application with its own prescribed throughput.
+func SolveIndependent(p *Problem, targets []int) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	return solve.IndependentApps(core.NewCostModel(p), targets)
+}
+
+// HeuristicName selects one of the paper's Section VI heuristics.
+type HeuristicName string
+
+// The heuristics of Section VI.
+const (
+	HeuristicH0      HeuristicName = "H0"
+	HeuristicH1      HeuristicName = "H1"
+	HeuristicH2      HeuristicName = "H2"
+	HeuristicH31     HeuristicName = "H31"
+	HeuristicH32     HeuristicName = "H32"
+	HeuristicH32Jump HeuristicName = "H32Jump"
+)
+
+// Heuristic runs the named heuristic on the problem's Target. seed drives
+// the stochastic heuristics (H0, H2, H31, H32Jump) and is ignored by the
+// deterministic ones.
+func Heuristic(p *Problem, name HeuristicName, opts *HeuristicOptions, seed uint64) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	m := core.NewCostModel(p)
+	src := rng.New(seed)
+	switch name {
+	case HeuristicH0:
+		return heuristics.H0(m, p.Target, src), nil
+	case HeuristicH1:
+		return heuristics.H1(m, p.Target), nil
+	case HeuristicH2:
+		return heuristics.H2(m, p.Target, opts, src), nil
+	case HeuristicH31:
+		return heuristics.H31(m, p.Target, opts, src), nil
+	case HeuristicH32:
+		return heuristics.H32(m, p.Target, opts), nil
+	case HeuristicH32Jump:
+		return heuristics.H32Jump(m, p.Target, opts, src), nil
+	}
+	return Allocation{}, fmt.Errorf("rentmin: unknown heuristic %q", name)
+}
+
+// Simulate runs the discrete-event stream simulator on an allocation.
+// seed drives arrival jitter; it is ignored when cfg.ArrivalJitter == 0.
+func Simulate(cfg SimConfig, seed uint64) (SimMetrics, error) {
+	return stream.Simulate(cfg, rng.New(seed))
+}
