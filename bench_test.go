@@ -215,6 +215,88 @@ func noSharedModel(b *testing.B) *core.CostModel {
 	return core.NewCostModel(p)
 }
 
+// --- Parallel branch and bound -----------------------------------------------
+
+// fig7Instance returns one Figure-7-scale instance (20 alternatives of
+// 50-100 tasks): large enough that the branch-and-bound tree keeps a
+// frontier of nodes and strong-branching child LPs worth parallelizing.
+func fig7Instance(b *testing.B) *core.CostModel {
+	b.Helper()
+	p, err := graphgen.Generate(experiments.Fig7Setting().Gen, rng.New(0xF197).Sub('c', 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewCostModel(p)
+}
+
+// benchExactWorkers measures one exact solve of the large instance at the
+// given branch-and-bound worker count.
+func benchExactWorkers(b *testing.B, workers int) {
+	b.Helper()
+	m := fig7Instance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solve.ILP(m, 150, &solve.ILPOptions{Workers: workers})
+		if err != nil || !res.Proven {
+			b.Fatalf("ILP failed: %v %+v", err, res)
+		}
+	}
+}
+
+// BenchmarkExactILPSequential is the Workers=1 baseline; compare with
+// BenchmarkExactILPParallel for the tentpole speedup (identical optimal
+// cost, lower wall clock).
+func BenchmarkExactILPSequential(b *testing.B) { benchExactWorkers(b, 1) }
+
+// BenchmarkExactILPParallel runs the same solve with GOMAXPROCS workers.
+func BenchmarkExactILPParallel(b *testing.B) { benchExactWorkers(b, 0) }
+
+// batchInstances builds a batch of Fig3-scale problems with a spread of
+// targets, the shape of a service-side solve burst.
+func batchInstances(b *testing.B) []*rentmin.Problem {
+	b.Helper()
+	gen := experiments.Fig3Setting().Gen
+	var ps []*rentmin.Problem
+	for i := 0; i < 8; i++ {
+		p, err := rentmin.Generate(gen, uint64(0xBA7C+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Target = 60 + 20*i
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// BenchmarkSolveBatchSequential solves the batch one problem at a time —
+// the baseline a caller without SolveBatch would write.
+func BenchmarkSolveBatchSequential(b *testing.B) {
+	problems := batchInstances(b)
+	opts := &rentmin.SolveOptions{Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range problems {
+			if _, err := rentmin.Solve(p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSolveBatchPooled pushes the same batch through a reusable
+// SolverPool, the intended serving path.
+func BenchmarkSolveBatchPooled(b *testing.B) {
+	problems := batchInstances(b)
+	pool := rentmin.NewSolverPool(0)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.SolveBatch(problems, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Component micro-benchmarks ----------------------------------------------
 
 // BenchmarkCostEval measures one shared-type cost evaluation on a

@@ -1,0 +1,3 @@
+module rentmin
+
+go 1.22

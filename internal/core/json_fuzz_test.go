@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadProblem hardens the JSON ingestion path the service endpoints
+// will sit on: arbitrary input must either decode into a fully validated
+// problem or return an error — never panic, and never hand back a problem
+// that fails its own Validate.
+func FuzzReadProblem(f *testing.F) {
+	// Seed corpus: a real problem, then structurally interesting mutations.
+	var buf bytes.Buffer
+	if err := WriteProblem(&buf, IllustratingExample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	for _, seed := range []string{
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`{"target": 70}`,
+		`{"application": {"graphs": []}, "platform": {"machines": []}, "target": 0}`,
+		`{"application": {"graphs": [{"name": "g", "tasks": [{"type": -1}]}]},
+		  "platform": {"machines": [{"throughput": 10, "cost": 5}]}, "target": 3}`,
+		`{"application": {"graphs": [{"name": "g", "tasks": [{"type": 99}]}]},
+		  "platform": {"machines": [{"throughput": 10, "cost": 5}]}, "target": 3}`,
+		`{"application": {"graphs": [{"name": "g", "tasks": [{"type": 0}],
+		  "edges": [{"from": 0, "to": 7}]}]},
+		  "platform": {"machines": [{"throughput": 10, "cost": 5}]}, "target": 3}`,
+		`{"application": {"graphs": [{"name": "g", "tasks": [{"type": 0}]}]},
+		  "platform": {"machines": [{"throughput": 0, "cost": -2}]}, "target": 3}`,
+		`{"application": {"graphs": [{"name": "g", "tasks": [{"type": 0}]}]},
+		  "platform": {"machines": [{"throughput": 10, "cost": 5}]}, "target": -4}`,
+		`{"unknown_field": 1}`,
+		`{"target": 1e999}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadProblem(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("nil problem without error")
+		}
+		// ReadProblem promises a validated problem; re-validating must
+		// succeed, and the compiled views must be constructible.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted problem fails Validate: %v", err)
+		}
+		NewCostModel(p)
+	})
+}

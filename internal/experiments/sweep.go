@@ -2,14 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"rentmin/internal/core"
 	"rentmin/internal/graphgen"
 	"rentmin/internal/heuristics"
 	"rentmin/internal/milp"
+	"rentmin/internal/pool"
 	"rentmin/internal/rng"
 	"rentmin/internal/solve"
 )
@@ -51,9 +50,9 @@ type SweepResult struct {
 
 // RunSweep executes the campaign: Configs random (application, cloud)
 // instances × Targets × (ILP + heuristics). Configurations run in
-// parallel; every algorithm draws its randomness from a sub-stream of
-// (Seed, config, target, algo), so results are independent of the worker
-// schedule.
+// parallel on a solve.Pool; every algorithm draws its randomness from a
+// sub-stream of (Seed, config, target, algo), so results are independent
+// of the worker schedule.
 func RunSweep(s Setting) (*SweepResult, error) {
 	if s.Configs <= 0 {
 		return nil, fmt.Errorf("experiments: %s: no configurations", s.Name)
@@ -82,33 +81,19 @@ func RunSweep(s Setting) (*SweepResult, error) {
 
 	master := rng.New(s.Seed)
 	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if workers > s.Configs {
 		workers = s.Configs
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	errs := make([]error, s.Configs)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				errs[c] = runConfig(s, algos, master, c, grid)
-			}
-		}()
-	}
-	for c := 0; c < s.Configs; c++ {
-		jobs <- c
-	}
-	close(jobs)
-	wg.Wait()
-	for c, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s config %d: %w", s.Name, c, err)
+	p := pool.New(workers) // 0 = GOMAXPROCS
+	defer p.Close()
+	err := p.Run(s.Configs, func(c int) error {
+		if err := runConfig(s, algos, master, c, grid); err != nil {
+			return fmt.Errorf("experiments: %s config %d: %w", s.Name, c, err)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return aggregate(s, names, grid), nil
 }
@@ -122,7 +107,7 @@ func runConfig(s Setting, algos []heuristics.Algorithm, master *rng.Source, c in
 	model := core.NewCostModel(problem)
 	for ti, target := range s.Targets {
 		start := time.Now()
-		res, err := solve.ILP(model, target, &solve.ILPOptions{TimeLimit: s.ILPTimeLimit})
+		res, err := solve.ILP(model, target, &solve.ILPOptions{TimeLimit: s.ILPTimeLimit, Workers: s.ilpWorkers()})
 		if err != nil {
 			return fmt.Errorf("ILP at target %d: %w", target, err)
 		}

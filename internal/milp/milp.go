@@ -13,7 +13,13 @@
 //     an integer, a node with LP bound 123.01 cannot beat an incumbent of
 //     124 and is cut;
 //   - wall-clock time limit with best-found reporting, reproducing the
-//     paper's "ILP hits its 100 s budget" experiment (Fig. 8).
+//     paper's "ILP hits its 100 s budget" experiment (Fig. 8);
+//   - parallel search: the best-bound frontier is expanded in rounds of
+//     up to Options.Workers nodes, and every child LP relaxation of the
+//     round — including all strong-branching candidates — solves
+//     concurrently on a worker pool (see parallel.go). Results are merged
+//     in a stable node order, so the reported optimal objective is
+//     identical for every worker count.
 package milp
 
 import (
@@ -22,9 +28,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"rentmin/internal/lp"
+	"rentmin/internal/pool"
 )
 
 // Problem is a linear program plus integrality flags.
@@ -83,7 +91,10 @@ func (s Status) String() string {
 
 // Rounder attempts to repair a (fractional) LP point into an integer
 // feasible point. It returns the candidate and true on success. The
-// returned slice must not alias the input.
+// returned slice must not alias the input. When Options.Workers != 1 the
+// rounder is invoked from multiple goroutines and must be safe for
+// concurrent use (a pure function of its input, like solve.RoundingRepair,
+// qualifies).
 type Rounder func(x []float64) ([]float64, bool)
 
 // Options tunes the search.
@@ -113,6 +124,15 @@ type Options struct {
 	// child has the highest bound. Zero disables strong branching
 	// (most-fractional is used instead).
 	StrongBranch int
+	// Workers sets how many frontier nodes are expanded concurrently per
+	// round. Zero uses GOMAXPROCS; 1 forces the classic sequential search.
+	// The optimal objective is identical for every worker count, and any
+	// fixed worker count is exactly reproducible run-to-run (expansions
+	// merge in a stable node order, independent of goroutine scheduling).
+	// When the problem has multiple optima, different worker counts may
+	// report different optimal points. NodeLimit is honored exactly;
+	// TimeLimit is checked between rounds.
+	Workers int
 	// LP tunes the inner simplex solver.
 	LP *lp.Options
 }
@@ -185,9 +205,17 @@ type solver struct {
 	start time.Time
 	tol   float64
 
-	bestX   []float64
-	bestObj float64
-	hasBest bool
+	// The incumbent is written only by the coordinator (during merge, so
+	// updates are deterministic); bestBits mirrors bestObj as atomic
+	// float64 bits so pool workers can read the current bound lock-free
+	// while filtering candidates mid-round.
+	bestX    []float64
+	bestObj  float64
+	hasBest  bool
+	bestBits atomic.Uint64
+
+	// Worker pool for parallel node expansion (nil when Workers == 1).
+	pool *pool.Pool
 
 	nodes int
 	cuts  int
@@ -198,6 +226,7 @@ var errLimit = errors.New("milp: limit reached")
 
 func (s *solver) run() (Result, error) {
 	s.bestObj = math.Inf(1)
+	s.bestBits.Store(math.Float64bits(s.bestObj))
 	s.base = &s.p.LP
 
 	if inc := s.optIncumbent(); inc != nil {
@@ -237,6 +266,12 @@ func (s *solver) run() (Result, error) {
 	heap.Init(h)
 	s.enqueue(h, root)
 
+	workers := s.workerCount()
+	if workers > 1 {
+		s.pool = pool.New(workers)
+		defer s.pool.Close()
+	}
+
 	lowest := root.bound // best proven global bound
 	for h.Len() > 0 {
 		if err := s.checkLimits(); err != nil {
@@ -250,35 +285,24 @@ func (s *solver) run() (Result, error) {
 			res.Gap = gap(res.Objective, res.Bound)
 			return res, nil
 		}
-		n := heap.Pop(h).(*node)
-		lowest = n.bound
-		if s.pruned(n.bound) {
-			// Best-bound order: every remaining node is prunable too.
+		batch := s.popBatch(h, workers)
+		if len(batch) == 0 {
+			// Heap minimum is prunable; best-bound order makes every
+			// remaining node prunable too.
 			break
 		}
-		s.nodes++
-
-		frac := s.fractionalVar(n.relax.X)
-		if frac < 0 {
-			// Integer feasible.
-			if n.relax.Objective < s.bestObj-1e-9 {
-				s.accept(append([]float64(nil), n.relax.X...), n.relax.Objective)
+		lowest = batch[0].bound
+		// finish counts the explored nodes: a node whose expansion is
+		// dropped (pruned mid-round by a sibling's incumbent) was never
+		// explored in the sequential sense.
+		preps := s.prepareAll(batch)
+		kids := s.solveChildrenAll(preps)
+		for i, p := range preps {
+			if kids == nil {
+				s.finish(h, p, nil)
+			} else {
+				s.finish(h, p, kids[i])
 			}
-			continue
-		}
-		if s.opts != nil && s.opts.Rounder != nil {
-			if cand, ok := s.opts.Rounder(n.relax.X); ok {
-				if obj, err := s.checkFeasible(cand); err == nil && obj < s.bestObj-1e-9 {
-					s.accept(cand, obj)
-				}
-			}
-		}
-
-		if k := s.strongBranchLimit(); k > 0 {
-			s.expandStrong(h, n, k)
-		} else {
-			v := n.relax.X[frac]
-			s.branch(h, n, frac, math.Floor(v), math.Ceil(v))
 		}
 	}
 
@@ -320,56 +344,11 @@ func (s *solver) buildChild(n *node, j int, lo, hi float64) *node {
 	return c
 }
 
-// branch creates the two children of n on variable j (x_j <= floor and
-// x_j >= ceil), solves their relaxations and enqueues the survivors.
-func (s *solver) branch(h *nodeHeap, n *node, j int, floor, ceil float64) {
-	if c := s.buildChild(n, j, math.Inf(-1), floor); c != nil {
-		s.enqueue(h, c)
-	}
-	if c := s.buildChild(n, j, ceil, math.Inf(1)); c != nil {
-		s.enqueue(h, c)
-	}
-}
-
 func (s *solver) strongBranchLimit() int {
 	if s.opts == nil {
 		return 0
 	}
 	return s.opts.StrongBranch
-}
-
-// expandStrong implements strong branching: it evaluates both children of
-// up to k fractional candidates and commits to the variable whose weaker
-// child bound is largest (maximizing guaranteed bound progress). The
-// winning pair's already-solved children are enqueued directly, so the
-// extra LP solves of the losing candidates are the only overhead.
-func (s *solver) expandStrong(h *nodeHeap, n *node, k int) {
-	cands := s.fractionalCandidates(n.relax.X, k)
-	var bestPair [2]*node
-	bestScore := math.Inf(-1)
-	havePair := false
-	for _, j := range cands {
-		v := n.relax.X[j]
-		down := s.buildChild(n, j, math.Inf(-1), math.Floor(v))
-		up := s.buildChild(n, j, math.Ceil(v), math.Inf(1))
-		score := childScore(down, up)
-		if score > bestScore {
-			bestScore = score
-			bestPair = [2]*node{down, up}
-			havePair = true
-		}
-		if math.IsInf(score, 1) {
-			break // both children infeasible: the node is fully pruned
-		}
-	}
-	if !havePair {
-		return
-	}
-	for _, c := range bestPair {
-		if c != nil {
-			s.enqueue(h, c)
-		}
-	}
 }
 
 // childScore is the worse (smaller) child bound; infeasible children count
@@ -492,7 +471,17 @@ func (s *solver) buildLP(n *node) *lp.Problem {
 	}
 	copy(prob.Constraints, base.Constraints)
 	nv := base.NumVars()
-	for j, b := range n.bounds {
+	// Emit bound rows in sorted variable order: map iteration order would
+	// otherwise shuffle the constraint rows, and simplex tie-breaking
+	// among degenerate optimal bases depends on row order — making trees
+	// (and tie-broken incumbents) vary run to run even sequentially.
+	vars := make([]int, 0, len(n.bounds))
+	for j := range n.bounds {
+		vars = append(vars, j)
+	}
+	sort.Ints(vars)
+	for _, j := range vars {
+		b := n.bounds[j]
 		if b.lo > 0 {
 			row := make([]float64, nv)
 			row[j] = 1
@@ -568,10 +557,20 @@ func (s *solver) checkFeasible(x []float64) (float64, error) {
 	return obj, nil
 }
 
+// accept installs a new incumbent. Only the coordinator calls it (during
+// candidate merge), so plain writes are safe; the atomic mirror publishes
+// the new bound to pool workers.
 func (s *solver) accept(x []float64, obj float64) {
 	s.bestX = x
 	s.bestObj = obj
 	s.hasBest = true
+	s.bestBits.Store(math.Float64bits(obj))
+}
+
+// curBest returns the incumbent objective (+inf when none). Safe to call
+// from pool workers.
+func (s *solver) curBest() float64 {
+	return math.Float64frombits(s.bestBits.Load())
 }
 
 func (s *solver) optIncumbent() []float64 {

@@ -2,6 +2,7 @@ package milp
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -224,9 +225,9 @@ func TestRounderProvidesIncumbent(t *testing.T) {
 		},
 		Integer: []bool{true, true},
 	}
-	rounded := 0
+	var rounded atomic.Int64 // rounders run on pool workers when Workers != 1
 	rounder := func(x []float64) ([]float64, bool) {
-		rounded++
+		rounded.Add(1)
 		y := make([]float64, len(x))
 		for i, v := range x {
 			y[i] = math.Ceil(v - 1e-9)
@@ -237,7 +238,7 @@ func TestRounderProvidesIncumbent(t *testing.T) {
 	if res.Status != Optimal {
 		t.Fatalf("status = %v, want optimal", res.Status)
 	}
-	if rounded == 0 {
+	if rounded.Load() == 0 {
 		t.Error("rounder was never invoked")
 	}
 	// Verify against brute force.

@@ -1,0 +1,232 @@
+// Parallel node expansion for the branch-and-bound search.
+//
+// The search proceeds in rounds. The coordinator pops up to Workers nodes
+// from the best-bound heap (the frontier batch) and runs each round in
+// three phases:
+//
+//  1. prepare (parallel over nodes): fractional-variable selection,
+//     integral-leaf detection and the rounding repair;
+//  2. child solve (parallel over individual LP relaxations): every
+//     branching candidate of every batch node contributes two child LPs,
+//     flattened into one task list — so even a frontier of one node with
+//     strong branching fans out into up to 2·StrongBranch concurrent
+//     simplex solves;
+//  3. finish (coordinator, stable batch order): strong-branching pair
+//     selection, incumbent acceptance and child enqueueing.
+//
+// Determinism: workers never mutate shared search state — they write only
+// their own slot of a positionally indexed result slice. All accept/prune
+// decisions happen in phase 3 in the stable best-bound/seq order of the
+// batch, so a fixed worker count is exactly reproducible run-to-run
+// regardless of goroutine scheduling, and the optimal objective is
+// identical for every worker count (batching only reorders which of
+// several optimal points is found first). The atomic incumbent bound read
+// by workers (curBest) only changes between rounds, so mid-round candidate
+// filtering is deterministic too; finish re-checks every candidate against
+// the live incumbent before accepting it.
+//
+// With Workers == 1 no pool is started: prepare and finish run inline and
+// child LPs are solved lazily inside the selection scan, reproducing the
+// classic sequential search (including strong branching's early break)
+// LP-solve for LP-solve.
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+)
+
+// candidate is an integer-feasible point found during node preparation.
+type candidate struct {
+	x   []float64
+	obj float64
+}
+
+// prep is the phase-1 outcome for one node: incumbent candidates found
+// (from an integral relaxation or the rounding repair) and the branching
+// variables whose children phase 2 must solve.
+type prep struct {
+	n          *node
+	integral   bool
+	candidates []candidate
+	branchVars []int
+}
+
+// workerCount resolves Options.Workers: 0 means GOMAXPROCS.
+func (s *solver) workerCount() int {
+	w := 0
+	if s.opts != nil {
+		w = s.opts.Workers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// runAll executes n positionally independent tasks, on the pool when it
+// is running and inline otherwise.
+func (s *solver) runAll(n int, task func(i int)) {
+	if s.pool == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	s.pool.Do(n, task)
+}
+
+// popBatch removes up to max expandable nodes from the heap in best-bound
+// order. It stops early when the heap minimum is prunable (every remaining
+// node is then prunable too) and never exceeds the node limit.
+func (s *solver) popBatch(h *nodeHeap, max int) []*node {
+	if s.opts != nil && s.opts.NodeLimit > 0 {
+		if rem := s.opts.NodeLimit - s.nodes; rem < max {
+			max = rem
+		}
+	}
+	var batch []*node
+	for len(batch) < max && h.Len() > 0 {
+		if s.pruned((*h)[0].bound) {
+			break
+		}
+		batch = append(batch, heap.Pop(h).(*node))
+	}
+	return batch
+}
+
+// prepare runs phase 1 for one node. It reads only immutable solver state
+// plus the atomic incumbent bound, so it is safe on pool workers.
+func (s *solver) prepare(n *node) prep {
+	p := prep{n: n}
+	frac := s.fractionalVar(n.relax.X)
+	if frac < 0 {
+		// Integer feasible: the node is a leaf.
+		p.integral = true
+		if obj := n.relax.Objective; obj < s.curBest()-1e-9 {
+			p.candidates = append(p.candidates, candidate{
+				x:   append([]float64(nil), n.relax.X...),
+				obj: obj,
+			})
+		}
+		return p
+	}
+	if s.opts != nil && s.opts.Rounder != nil {
+		if cand, ok := s.opts.Rounder(n.relax.X); ok {
+			if obj, err := s.checkFeasible(cand); err == nil && obj < s.curBest()-1e-9 {
+				p.candidates = append(p.candidates, candidate{x: cand, obj: obj})
+			}
+		}
+	}
+	if k := s.strongBranchLimit(); k > 0 {
+		p.branchVars = s.fractionalCandidates(n.relax.X, k)
+	} else {
+		p.branchVars = []int{frac}
+	}
+	return p
+}
+
+// prepareAll runs phase 1 over the batch.
+func (s *solver) prepareAll(batch []*node) []prep {
+	preps := make([]prep, len(batch))
+	s.runAll(len(batch), func(i int) { preps[i] = s.prepare(batch[i]) })
+	return preps
+}
+
+// solveChild builds and solves one child: dir 0 adds x_j <= floor, dir 1
+// adds x_j >= ceil.
+func (s *solver) solveChild(n *node, j, dir int) *node {
+	v := n.relax.X[j]
+	if dir == 0 {
+		return s.buildChild(n, j, math.Inf(-1), math.Floor(v))
+	}
+	return s.buildChild(n, j, math.Ceil(v), math.Inf(1))
+}
+
+// solveChildrenAll runs phase 2: every (node, branch variable, direction)
+// child LP of the round, flattened into one task list so the pool stays
+// saturated even when the frontier is narrow. It returns kids[i][vi] =
+// {down, up} for preps[i].branchVars[vi]. On the sequential path it
+// returns nil and finish solves children lazily instead, preserving the
+// early break's LP-solve savings.
+func (s *solver) solveChildrenAll(preps []prep) [][][2]*node {
+	if s.pool == nil {
+		return nil
+	}
+	kids := make([][][2]*node, len(preps))
+	type job struct{ i, vi, dir int }
+	var jobs []job
+	for i, p := range preps {
+		kids[i] = make([][2]*node, len(p.branchVars))
+		for vi := range p.branchVars {
+			jobs = append(jobs, job{i, vi, 0}, job{i, vi, 1})
+		}
+	}
+	s.runAll(len(jobs), func(t int) {
+		jb := jobs[t]
+		p := preps[jb.i]
+		kids[jb.i][jb.vi][jb.dir] = s.solveChild(p.n, p.branchVars[jb.vi], jb.dir)
+	})
+	return kids
+}
+
+// finish runs phase 3 for one node: candidates are re-checked against the
+// live incumbent and accepted in order, then the surviving children of
+// the selected branching variable are enqueued (enqueue prunes against
+// the updated incumbent). Only the coordinator calls finish, in stable
+// batch order. kids is the node's phase-2 output, or nil to solve
+// children on demand.
+//
+// A node that became prunable mid-round (an earlier finish of the same
+// round improved the incumbent) is dropped wholesale — the sequential
+// search would have pruned it at pop time and never expanded it, so
+// keeping its candidates or children would make the incumbent trajectory
+// depend on the worker count. The speculative phase-2 LP solves are the
+// only cost of that race, never a behavioral difference.
+func (s *solver) finish(h *nodeHeap, p prep, kids [][2]*node) {
+	if s.pruned(p.n.bound) {
+		return
+	}
+	s.nodes++
+	for _, c := range p.candidates {
+		if c.obj < s.bestObj-1e-9 {
+			s.accept(c.x, c.obj)
+		}
+	}
+	if p.integral {
+		return
+	}
+	get := func(vi int) (down, up *node) {
+		if kids != nil {
+			return kids[vi][0], kids[vi][1]
+		}
+		return s.solveChild(p.n, p.branchVars[vi], 0), s.solveChild(p.n, p.branchVars[vi], 1)
+	}
+	// Strong branching: commit to the variable whose weaker child bound
+	// is largest (maximizing guaranteed bound progress); the early break
+	// on a fully pruned pair mirrors expandStrong's classic behavior.
+	var bestPair [2]*node
+	bestScore := math.Inf(-1)
+	havePair := false
+	for vi := range p.branchVars {
+		down, up := get(vi)
+		score := childScore(down, up)
+		if score > bestScore {
+			bestScore = score
+			bestPair = [2]*node{down, up}
+			havePair = true
+		}
+		if math.IsInf(score, 1) {
+			break // both children infeasible: the node is fully pruned
+		}
+	}
+	if !havePair {
+		return
+	}
+	for _, c := range bestPair {
+		if c != nil {
+			s.enqueue(h, c)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package pool provides the fixed-size worker pool shared by every
+// parallel layer of the system: branch-and-bound node expansion
+// (internal/milp), batch solving (rentmin.SolverPool) and experiment
+// sweeps (internal/experiments). It is a leaf package so all of them can
+// depend on it.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size worker pool for running many independent
+// CPU-bound tasks concurrently. The worker goroutines are started once
+// and reused across Run calls, so a long-lived service can keep one Pool
+// and push every incoming batch through it.
+//
+// Pool bounds concurrency, it does not create it per call — the idiomatic
+// replacement for ad-hoc `for w := 0; w < workers; w++ { go ... }` loops.
+type Pool struct {
+	workers int
+	jobs    chan func()
+	wg      sync.WaitGroup
+}
+
+// New starts a pool with the given number of workers; zero or
+// negative uses GOMAXPROCS. Close must be called to release the workers.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, jobs: make(chan func())}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(0) … fn(n-1) on the pool and waits for all of them. It
+// returns the error of the lowest-index failing task (wrap errors inside
+// fn to attach task context), independent of the completion schedule.
+// Run is safe for concurrent use, but must not be called from inside a
+// pool task: a task waiting on its own pool can deadlock once every
+// worker is occupied.
+func (p *Pool) Run(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		p.jobs <- func() {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Do executes task(0) … task(n-1) on the pool and waits for all of them:
+// Run for tasks that cannot fail.
+func (p *Pool) Do(n int, task func(i int)) {
+	_ = p.Run(n, func(i int) error { task(i); return nil })
+}
+
+// Close stops the workers after any queued tasks finish. The pool must
+// not be used after Close; pending Run calls complete first.
+func (p *Pool) Close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

@@ -37,6 +37,10 @@ type ILPOptions struct {
 	// DisableStrongBranch falls back to most-fractional branching
 	// (ablation).
 	DisableStrongBranch bool
+	// Workers sets branch-and-bound parallelism: frontier nodes expanded
+	// concurrently per round (0 = GOMAXPROCS, 1 = sequential). The optimal
+	// cost is identical for every worker count; see milp.Options.Workers.
+	Workers int
 }
 
 // ILPResult is the outcome of the integer-programming solve.
@@ -155,6 +159,7 @@ func ILP(m *core.CostModel, target int, opts *ILPOptions) (ILPResult, error) {
 		TimeLimit:         opts.TimeLimit,
 		NodeLimit:         opts.NodeLimit,
 		IntegralObjective: !opts.DisableIntegralPruning,
+		Workers:           opts.Workers,
 	}
 	if !opts.DisableStrongBranch {
 		mopts.StrongBranch = 8

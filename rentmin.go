@@ -23,16 +23,31 @@
 // (SolveBlackBox, SolveNoShared). The stream subpackage-backed Simulate
 // validates that an allocation really sustains the target throughput on a
 // discrete-event model of the machine pools.
+//
+// # Concurrency
+//
+// Solve parallelizes a single branch-and-bound search across
+// SolveOptions.Workers goroutines (0 = GOMAXPROCS); the optimal cost is
+// identical for every worker count. For many independent instances —
+// serving concurrent solve requests, or sweeping experiment grids — use
+// SolveBatch, or keep a long-lived SolverPool and push each batch through
+// it:
+//
+//	pool := rentmin.NewSolverPool(0)
+//	defer pool.Close()
+//	sols, err := pool.SolveBatch(problems, nil)
 package rentmin
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"rentmin/internal/core"
 	"rentmin/internal/graphgen"
 	"rentmin/internal/heuristics"
+	"rentmin/internal/pool"
 	"rentmin/internal/rng"
 	"rentmin/internal/solve"
 	"rentmin/internal/stream"
@@ -105,7 +120,16 @@ type SolveOptions struct {
 	// returned with Proven == false.
 	TimeLimit time.Duration
 	// WarmStart optionally seeds the search with per-graph throughputs.
+	// It applies to Solve only; SolveBatch ignores it (problems in a
+	// batch generally have different shapes).
 	WarmStart []int
+	// Workers controls parallelism. For Solve it is the number of
+	// branch-and-bound nodes expanded concurrently (0 = GOMAXPROCS,
+	// 1 = sequential); the optimal cost is identical for every value.
+	// For SolveBatch it is instead the number of problems solved
+	// concurrently, each with a sequential inner search — one level of
+	// parallelism, no oversubscription.
+	Workers int
 }
 
 // Solution is the outcome of the exact solver.
@@ -132,6 +156,7 @@ func Solve(p *Problem, opts *SolveOptions) (Solution, error) {
 	if opts != nil {
 		iopts.TimeLimit = opts.TimeLimit
 		iopts.WarmStart = opts.WarmStart
+		iopts.Workers = opts.Workers
 	}
 	res, err := solve.ILP(m, p.Target, &iopts)
 	if err != nil {
@@ -147,6 +172,79 @@ func Solve(p *Problem, opts *SolveOptions) (Solution, error) {
 		Nodes:   res.Nodes,
 		Elapsed: res.Elapsed,
 	}, nil
+}
+
+// SolverPool is a reusable fixed-size worker pool for batch solving. A
+// long-lived service should create one pool and push every incoming batch
+// through it instead of paying goroutine fan-out per request:
+//
+//	pool := rentmin.NewSolverPool(0) // GOMAXPROCS workers
+//	defer pool.Close()
+//	for batch := range requests {
+//		sols, err := pool.SolveBatch(batch, nil)
+//		...
+//	}
+type SolverPool struct {
+	pool *pool.Pool
+}
+
+// NewSolverPool starts a pool that solves up to workers problems
+// concurrently (0 = GOMAXPROCS). Close must be called to release it.
+func NewSolverPool(workers int) *SolverPool {
+	return &SolverPool{pool: pool.New(workers)}
+}
+
+// Workers returns the pool size.
+func (p *SolverPool) Workers() int { return p.pool.Workers() }
+
+// Close stops the pool's workers. The pool must not be used afterwards.
+func (p *SolverPool) Close() { p.pool.Close() }
+
+// SolveBatch solves every problem at its own Target on the pool and
+// returns the solutions in input order. Each individual solve runs the
+// sequential branch-and-bound (cross-problem parallelism already
+// saturates the pool); TimeLimit applies per problem. On failure the
+// error of the lowest-index failing problem is returned.
+func (p *SolverPool) SolveBatch(problems []*Problem, opts *SolveOptions) ([]Solution, error) {
+	each := SolveOptions{Workers: 1}
+	if opts != nil {
+		each.TimeLimit = opts.TimeLimit
+	}
+	out := make([]Solution, len(problems))
+	err := p.pool.Run(len(problems), func(i int) error {
+		sol, err := Solve(problems[i], &each)
+		if err != nil {
+			return fmt.Errorf("rentmin: batch problem %d: %w", i, err)
+		}
+		out[i] = sol
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SolveBatch solves many problems concurrently on a transient pool of
+// opts.Workers workers (0 = GOMAXPROCS) and returns the solutions in
+// input order. For repeated batches, keep a SolverPool instead.
+func SolveBatch(problems []*Problem, opts *SolveOptions) ([]Solution, error) {
+	workers := 0
+	if opts != nil {
+		workers = opts.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(problems) {
+		workers = len(problems)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pool := NewSolverPool(workers)
+	defer pool.Close()
+	return pool.SolveBatch(problems, opts)
 }
 
 // SolveBlackBox solves the Section V-A special case (each recipe is a
