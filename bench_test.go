@@ -162,6 +162,10 @@ func BenchmarkAblationILPNoStrongBranch(b *testing.B) {
 	benchILPVariant(b, solve.ILPOptions{DisableStrongBranch: true})
 }
 
+func BenchmarkAblationILPNoLPWarmStart(b *testing.B) {
+	benchILPVariant(b, solve.ILPOptions{DisableLPWarmStart: true})
+}
+
 // BenchmarkAblationDelta compares H32Jump exchange granularities.
 func BenchmarkAblationDelta1(b *testing.B)  { benchDelta(b, 1) }
 func BenchmarkAblationDelta10(b *testing.B) { benchDelta(b, 10) }
@@ -296,6 +300,51 @@ func BenchmarkSolveBatchPooled(b *testing.B) {
 		}
 	}
 }
+
+// --- Dual-simplex LP warm starts ---------------------------------------------
+
+// fig8Instance returns one Figure-8-scale instance (10 alternatives of
+// 100-200 tasks over 50 machine types): the scale where per-node LP
+// re-solves dominate the exact solver, i.e. exactly what the dual-simplex
+// warm start targets.
+func fig8Instance(b *testing.B) *core.CostModel {
+	b.Helper()
+	p, err := graphgen.Generate(experiments.Fig8Setting(0).Gen, rng.New(0xF198).Sub('c', 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewCostModel(p)
+}
+
+// benchILPFig8 runs the Fig. 8-scale exact solve (proven optimal within
+// the node budget) and reports total simplex pivots — a hardware-
+// independent work measure. CI tracks the warm/cold pair: the warm run
+// must stay well below the cold one (≥1.5× fewer iterations).
+func benchILPFig8(b *testing.B, coldLP bool) {
+	b.Helper()
+	m := fig8Instance(b)
+	iters, nodes := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solve.ILP(m, 120, &solve.ILPOptions{NodeLimit: 150, DisableLPWarmStart: coldLP})
+		if err != nil || !res.Proven {
+			b.Fatalf("ILP failed: %v %+v", err, res)
+		}
+		iters += res.LPIterations
+		nodes += res.Nodes
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "simplex-iters/op")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+// BenchmarkILPWarmStart is the headline warm-start bench: every child LP
+// re-optimizes from its parent's basis.
+func BenchmarkILPWarmStart(b *testing.B) { benchILPFig8(b, false) }
+
+// BenchmarkILPColdStart is the same search with warm starts disabled
+// (every node pays a full two-phase solve) — the ratio against
+// BenchmarkILPWarmStart is the tentpole speedup.
+func BenchmarkILPColdStart(b *testing.B) { benchILPFig8(b, true) }
 
 // --- Component micro-benchmarks ----------------------------------------------
 

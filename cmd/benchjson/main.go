@@ -1,0 +1,345 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document and compares two such documents for performance regressions.
+// CI uses it to publish a benchmark artifact per run and to fail pull
+// requests that slow a tracked benchmark down by more than a threshold.
+//
+// Convert (reads the bench text from stdin or -in):
+//
+//	go test -run='^$' -bench=. -benchtime=3x -count=3 ./... | benchjson -out BENCH_123.json
+//
+// Compare (exits 1 when any benchmark's median ns/op regressed by more
+// than -max-regress relative to the baseline):
+//
+//	benchjson -baseline BENCH_baseline.json -current BENCH_123.json -max-regress 0.30
+//
+// The baseline committed at the repository root was produced by the same
+// convert invocation; regenerate it (on hardware comparable to the CI
+// runners) whenever an intentional performance change lands.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON document: one entry per benchmark name, with every
+// sample from repeated -count runs retained.
+type Report struct {
+	Schema int `json:"schema"`
+	// Context lines from the bench header (goos, goarch, pkg, cpu),
+	// informational only.
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Benchmark aggregates the samples of one benchmark across -count runs.
+type Benchmark struct {
+	Name  string `json:"name"`  // without the -P GOMAXPROCS suffix
+	Procs int    `json:"procs"` // the GOMAXPROCS suffix, 1 if absent
+	Runs  []int  `json:"runs"`  // b.N per sample
+	// NsPerOp holds one ns/op sample per -count run.
+	NsPerOp []float64 `json:"ns_per_op"`
+	// Metrics holds the remaining unit -> samples columns (B/op,
+	// allocs/op, and b.ReportMetric customs like simplex-iters/op).
+	Metrics map[string][]float64 `json:"metrics,omitempty"`
+}
+
+// Regression is one comparison finding for one (benchmark, unit) pair.
+type Regression struct {
+	Name           string
+	Unit           string  // "ns/op" or a gated custom metric
+	Baseline       float64 // min (ns/op) or median (metrics) of the samples
+	Current        float64
+	Ratio          float64 // current/baseline
+	OverThreshold  bool
+	MissingCurrent bool
+	// Informational marks a comparison that is reported but never fails
+	// the gate: ns/op when the two reports come from different CPUs
+	// (absolute wall clock is not comparable across hardware; the
+	// deterministic metrics still gate).
+	Informational bool
+}
+
+func main() {
+	in := flag.String("in", "", "bench text input file (default stdin)")
+	out := flag.String("out", "", "write the converted JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON report; switches to compare mode")
+	current := flag.String("current", "", "current JSON report to compare against -baseline")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated regression (0.30 = +30%)")
+	metrics := flag.String("metrics", "simplex-iters/op,nodes/op",
+		"comma-separated deterministic units gated alongside ns/op when present in both reports")
+	flag.Parse()
+
+	if *baseline != "" {
+		if *current == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -baseline requires -current")
+			os.Exit(2)
+		}
+		if err := runCompare(*baseline, *current, *maxRegress, splitList(*metrics)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parseBench(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench reads `go test -bench` text output. Lines that are not
+// benchmark results (headers, PASS/ok, test logs) are skipped; header
+// context lines (goos:, goarch:, cpu:, pkg:) are retained once.
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{Schema: 1, Context: map[string]string{}}
+	byName := map[string]*Benchmark{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if key, val, ok := strings.Cut(line, ": "); ok && len(strings.Fields(key)) == 1 {
+			switch key {
+			case "goos", "goarch", "pkg", "cpu":
+				if _, dup := rep.Context[key]; !dup {
+					rep.Context[key] = val
+				}
+				continue
+			}
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		runs, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		name = strings.TrimPrefix(name, "Benchmark")
+		// The tail is (value, unit) pairs.
+		if len(fields[2:])%2 != 0 {
+			continue
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name, Procs: procs, Metrics: map[string][]float64{}}
+			byName[name] = b
+			order = append(order, name)
+		}
+		b.Runs = append(b.Runs, runs)
+		sawNs := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q on line %q", fields[i], line)
+			}
+			if unit := fields[i+1]; unit == "ns/op" {
+				b.NsPerOp = append(b.NsPerOp, v)
+				sawNs = true
+			} else {
+				b.Metrics[unit] = append(b.Metrics[unit], v)
+			}
+		}
+		if !sawNs {
+			return nil, fmt.Errorf("no ns/op on line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	for _, name := range order {
+		b := byName[name]
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		rep.Benchmarks = append(rep.Benchmarks, *b)
+	}
+	return rep, nil
+}
+
+// splitProcs separates the -P GOMAXPROCS suffix from a benchmark name.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s, 1
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil || p <= 0 {
+		return s, 1
+	}
+	return s[:i], p
+}
+
+// median returns the middle sample (mean of the two middles for even n).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// minOf returns the smallest sample: for wall-clock measurements the
+// least-noise estimate (noise only ever adds time), and far more stable
+// than the median across loaded or heterogeneous runners.
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, v := range xs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// compare pairs the two reports by benchmark name and flags regressions
+// past maxRegress: min-of-samples ns/op for every benchmark, plus the
+// median of each gated deterministic metric present on both sides (those
+// catch algorithmic regressions independently of runner hardware).
+// Benchmarks present on only one side are never failures: new benchmarks
+// have no baseline yet, and removed ones are reported for visibility.
+func compare(base, cur *Report, maxRegress float64, gateMetrics []string) []Regression {
+	curBy := map[string]*Benchmark{}
+	for i := range cur.Benchmarks {
+		curBy[cur.Benchmarks[i].Name] = &cur.Benchmarks[i]
+	}
+	// Wall clock is only comparable when both reports came off the same
+	// CPU; otherwise ns/op rows are informational and only the
+	// deterministic metrics gate.
+	sameCPU := base.Context["cpu"] != "" && base.Context["cpu"] == cur.Context["cpu"]
+	var out []Regression
+	for _, b := range base.Benchmarks {
+		c, ok := curBy[b.Name]
+		if !ok {
+			out = append(out, Regression{Name: b.Name, Unit: "ns/op", Baseline: minOf(b.NsPerOp), MissingCurrent: true})
+			continue
+		}
+		ns := judge(b.Name, "ns/op", minOf(b.NsPerOp), minOf(c.NsPerOp), maxRegress)
+		if !sameCPU {
+			ns.Informational = true
+			ns.OverThreshold = false
+		}
+		out = append(out, ns)
+		for _, unit := range gateMetrics {
+			bs, cs := b.Metrics[unit], c.Metrics[unit]
+			if len(bs) == 0 || len(cs) == 0 {
+				continue
+			}
+			out = append(out, judge(b.Name, unit, median(bs), median(cs), maxRegress))
+		}
+	}
+	return out
+}
+
+// judge builds one Regression verdict from a baseline/current pair.
+func judge(name, unit string, base, cur, maxRegress float64) Regression {
+	r := Regression{Name: name, Unit: unit, Baseline: base, Current: cur}
+	if base > 0 {
+		r.Ratio = cur / base
+		r.OverThreshold = r.Ratio > 1+maxRegress
+	}
+	return r
+}
+
+// runCompare loads both reports, prints the comparison table, and returns
+// an error when any benchmark regressed past the threshold.
+func runCompare(basePath, curPath string, maxRegress float64, gateMetrics []string) error {
+	base, err := loadReport(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadReport(curPath)
+	if err != nil {
+		return err
+	}
+	if bc, cc := base.Context["cpu"], cur.Context["cpu"]; bc != cc || bc == "" {
+		fmt.Printf("note: cpu mismatch (baseline %q, current %q); ns/op is informational, only deterministic metrics gate\n", bc, cc)
+	}
+	results := compare(base, cur, maxRegress, gateMetrics)
+	failed := 0
+	for _, r := range results {
+		switch {
+		case r.MissingCurrent:
+			fmt.Printf("MISSING  %-44s baseline %12.0f %s, no current sample\n", r.Name, r.Baseline, r.Unit)
+		case r.OverThreshold:
+			failed++
+			fmt.Printf("REGRESS  %-44s %12.0f -> %12.0f %-16s (%.2fx)\n", r.Name, r.Baseline, r.Current, r.Unit, r.Ratio)
+		case r.Informational:
+			fmt.Printf("info     %-44s %12.0f -> %12.0f %-16s (%.2fx)\n", r.Name, r.Baseline, r.Current, r.Unit, r.Ratio)
+		default:
+			fmt.Printf("ok       %-44s %12.0f -> %12.0f %-16s (%.2fx)\n", r.Name, r.Baseline, r.Current, r.Unit, r.Ratio)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark metric(s) regressed more than %.0f%%", failed, maxRegress*100)
+	}
+	return nil
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: rentmin
+cpu: AMD EPYC 9B45
+BenchmarkTable3-2             	       3	 123456789 ns/op
+BenchmarkTable3-2             	       3	 120000000 ns/op
+BenchmarkTable3-2             	       3	 130000000 ns/op
+BenchmarkILPWarmStart-2       	       3	1083120633 ns/op	       111.0 nodes/op	    182917 simplex-iters/op
+BenchmarkILPWarmStart-2       	       3	1090000000 ns/op	       111.0 nodes/op	    182917 simplex-iters/op
+BenchmarkHeuristics/H1-2      	    1000	   1234567 ns/op
+BenchmarkCostEval             	 5000000	       250.5 ns/op	      16 B/op	       1 allocs/op
+PASS
+ok  	rentmin	42.000s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Context["goos"] != "linux" || rep.Context["cpu"] != "AMD EPYC 9B45" {
+		t.Errorf("context = %v", rep.Context)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+
+	tbl := byName["Table3"]
+	if len(tbl.NsPerOp) != 3 || tbl.Procs != 2 {
+		t.Errorf("Table3 = %+v", tbl)
+	}
+	if m := median(tbl.NsPerOp); m != 123456789 {
+		t.Errorf("Table3 median = %g, want 123456789", m)
+	}
+
+	warm := byName["ILPWarmStart"]
+	if got := warm.Metrics["simplex-iters/op"]; len(got) != 2 || got[0] != 182917 {
+		t.Errorf("warm metrics = %v", warm.Metrics)
+	}
+
+	if sub, ok := byName["Heuristics/H1"]; !ok || sub.Runs[0] != 1000 {
+		t.Errorf("sub-benchmark = %+v", sub)
+	}
+
+	// No -procs suffix: serial benchmark line.
+	ce := byName["CostEval"]
+	if ce.Procs != 1 || ce.NsPerOp[0] != 250.5 || ce.Metrics["B/op"][0] != 16 {
+		t.Errorf("CostEval = %+v", ce)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("want error for input without benchmarks")
+	}
+}
+
+func mkReport(pairs map[string][]float64) *Report {
+	rep := &Report{Schema: 1, Context: map[string]string{"cpu": "testcpu"}}
+	for _, name := range []string{"A", "B", "C", "Gone"} {
+		if ns, ok := pairs[name]; ok {
+			rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, NsPerOp: ns})
+		}
+	}
+	return rep
+}
+
+func TestCompare(t *testing.T) {
+	base := mkReport(map[string][]float64{
+		"A":    {100, 110, 105}, // stays flat
+		"B":    {100, 100, 100}, // regresses 2x
+		"C":    {100},           // improves
+		"Gone": {50},            // missing in current
+	})
+	cur := mkReport(map[string][]float64{
+		"A": {104, 108, 99}, // min 99 vs baseline min 100
+		"B": {200, 210, 190},
+		"C": {20},
+	})
+	got := compare(base, cur, 0.30, nil)
+	verdicts := map[string]Regression{}
+	for _, r := range got {
+		verdicts[r.Name] = r
+	}
+	if verdicts["A"].OverThreshold {
+		t.Errorf("A flagged: %+v", verdicts["A"])
+	}
+	if !verdicts["B"].OverThreshold || verdicts["B"].Ratio != 1.9 {
+		t.Errorf("B not flagged at min 190/100: %+v", verdicts["B"])
+	}
+	if verdicts["C"].OverThreshold {
+		t.Errorf("C (an improvement) flagged: %+v", verdicts["C"])
+	}
+	if !verdicts["Gone"].MissingCurrent || verdicts["Gone"].OverThreshold {
+		t.Errorf("Gone mishandled: %+v", verdicts["Gone"])
+	}
+	// A benchmark new in current (no baseline) must not appear at all.
+	for _, r := range got {
+		if r.Name == "New" {
+			t.Errorf("new benchmark compared: %+v", r)
+		}
+	}
+}
+
+func TestCompareBoundary(t *testing.T) {
+	base := mkReport(map[string][]float64{"A": {100}})
+	// Exactly +30% is tolerated; the check is strict-greater.
+	cur := mkReport(map[string][]float64{"A": {130}})
+	if r := compare(base, cur, 0.30, nil); r[0].OverThreshold {
+		t.Errorf("exactly-at-threshold flagged: %+v", r[0])
+	}
+	cur = mkReport(map[string][]float64{"A": {131}})
+	if r := compare(base, cur, 0.30, nil); !r[0].OverThreshold {
+		t.Errorf("past-threshold not flagged: %+v", r[0])
+	}
+}
+
+// TestCompareNoiseRobustness pins the min-of-samples choice: a wildly
+// noisy sample set (co-tenant interference) must not fail the gate as
+// long as one clean sample matches the baseline.
+func TestCompareNoiseRobustness(t *testing.T) {
+	base := mkReport(map[string][]float64{"A": {100, 240, 300}})
+	cur := mkReport(map[string][]float64{"A": {310, 105, 290}})
+	if r := compare(base, cur, 0.30, nil); r[0].OverThreshold {
+		t.Errorf("noisy-but-clean-min flagged: %+v", r[0])
+	}
+}
+
+// TestCompareCrossHardware: when the two reports were recorded on
+// different CPU models, ns/op never fails the gate (absolute wall clock
+// is not comparable), but deterministic metric regressions still do.
+func TestCompareCrossHardware(t *testing.T) {
+	base := mkReport(map[string][]float64{"A": {100}})
+	base.Benchmarks[0].Metrics = map[string][]float64{"nodes/op": {100}}
+	cur := mkReport(map[string][]float64{"A": {500}}) // 5x "slower"
+	cur.Context["cpu"] = "othercpu"
+	cur.Benchmarks[0].Metrics = map[string][]float64{"nodes/op": {200}}
+
+	got := compare(base, cur, 0.30, []string{"nodes/op"})
+	for _, r := range got {
+		switch r.Unit {
+		case "ns/op":
+			if r.OverThreshold || !r.Informational {
+				t.Errorf("cross-hardware ns/op gated: %+v", r)
+			}
+		case "nodes/op":
+			if !r.OverThreshold {
+				t.Errorf("deterministic metric not gated cross-hardware: %+v", r)
+			}
+		}
+	}
+}
+
+// TestCompareGatedMetrics: deterministic solver metrics are compared by
+// median when present in both reports, and regressions there fail even
+// when ns/op looks fine.
+func TestCompareGatedMetrics(t *testing.T) {
+	base := mkReport(map[string][]float64{"A": {100}})
+	base.Benchmarks[0].Metrics = map[string][]float64{"simplex-iters/op": {1000, 1000, 1000}}
+	cur := mkReport(map[string][]float64{"A": {100}})
+	cur.Benchmarks[0].Metrics = map[string][]float64{"simplex-iters/op": {1600, 1600, 1600}}
+
+	got := compare(base, cur, 0.30, []string{"simplex-iters/op"})
+	var metric *Regression
+	for i := range got {
+		if got[i].Unit == "simplex-iters/op" {
+			metric = &got[i]
+		}
+	}
+	if metric == nil || !metric.OverThreshold || metric.Ratio != 1.6 {
+		t.Fatalf("metric regression not flagged: %+v", got)
+	}
+	// Absent on one side: silently skipped.
+	cur.Benchmarks[0].Metrics = nil
+	for _, r := range compare(base, cur, 0.30, []string{"simplex-iters/op"}) {
+		if r.Unit == "simplex-iters/op" {
+			t.Errorf("one-sided metric compared: %+v", r)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo/sub-case-2", "BenchmarkFoo/sub-case", 2},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %g", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("empty median = %g", m)
+	}
+}

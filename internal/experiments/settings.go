@@ -48,6 +48,10 @@ type Setting struct {
 	// with Workers == 1 when wall-clock latency of a single big instance
 	// is what matters.
 	ILPWorkers int
+	// ILPColdLP disables the dual-simplex LP warm starts inside each ILP
+	// solve (every branch-and-bound node then re-solves cold), for
+	// warm-vs-cold ablation campaigns. Costs are identical either way.
+	ILPColdLP bool
 }
 
 // ilpWorkers maps the Setting field to solve.ILPOptions.Workers semantics

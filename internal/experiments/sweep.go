@@ -107,7 +107,11 @@ func runConfig(s Setting, algos []heuristics.Algorithm, master *rng.Source, c in
 	model := core.NewCostModel(problem)
 	for ti, target := range s.Targets {
 		start := time.Now()
-		res, err := solve.ILP(model, target, &solve.ILPOptions{TimeLimit: s.ILPTimeLimit, Workers: s.ilpWorkers()})
+		res, err := solve.ILP(model, target, &solve.ILPOptions{
+			TimeLimit:          s.ILPTimeLimit,
+			Workers:            s.ilpWorkers(),
+			DisableLPWarmStart: s.ILPColdLP,
+		})
 		if err != nil {
 			return fmt.Errorf("ILP at target %d: %w", target, err)
 		}

@@ -1,0 +1,55 @@
+// Package lp implements a dense two-phase simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  A_i·x {<=,>=,=} b_i   for every constraint i
+//	            x >= 0
+//
+// It is the linear-programming substrate under the branch-and-bound MILP
+// solver (package milp), which together replace the commercial ILP solver
+// (Gurobi) used by the paper. The implementation favours robustness at the
+// modest sizes of the paper's instances: dense tableau storage, Dantzig
+// pricing with an automatic switch to Bland's rule for anti-cycling, and a
+// phase-1 artificial-variable start.
+//
+// # Solver internals
+//
+// Solve runs the classic two-phase primal pipeline. The tableau is built
+// with one slack/surplus column per inequality row and one artificial
+// column per row that lacks an identity start (GE and EQ rows); all rows
+// share a single backing arena so a solve touches one allocation and no
+// memory outside its own tableau. Phase 1 minimizes the artificial sum,
+// evicts leftover basic artificials (marking linearly dependent rows
+// redundant), and phase 2 re-prices the true objective with artificials
+// forbidden from re-entering. Entering columns use Dantzig pricing until
+// a stall window expires, then Bland's rule; leaving rows use the
+// minimum-ratio test with a lexicographic (smallest basis index)
+// tie-break. All degeneracy decisions — ratio ties, phase-1 feasibility,
+// artificial eviction, warm-start verification — share one loosened
+// tolerance (degenTol, the square root of the pricing tolerance), so the
+// solver cannot judge the same quantity "zero" in one place and "nonzero"
+// in another.
+//
+// SolveFrom adds the dual-simplex re-optimization path that the
+// branch-and-bound solver leans on. An optimal Solve records its basis as
+// Solution.Basis, encoded shape-stably (structural column index, or "the
+// slack/surplus of row i") so it survives appending rows. SolveFrom
+// restores that basis into a fresh tableau of the perturbed problem with
+// one Gaussian-elimination pivot per changed basis column, then runs dual
+// simplex: while some right-hand side is negative, the most negative row
+// leaves and the dual ratio test picks the entering column, repairing
+// primal feasibility while preserving the dual feasibility inherited from
+// the parent optimum. A short primal polish cleans roundoff, and the
+// result is verified (primal and dual feasibility) before being reported.
+// Any rejection along the way — mismatched or singular basis, lost dual
+// feasibility, iteration cap — falls back transparently to the cold
+// two-phase Solve, so SolveFrom is never less robust than Solve, only
+// usually much cheaper: a branch-and-bound child differs from its parent
+// by one tightened bound, which typically costs a handful of dual pivots
+// against a full phase-1/phase-2 re-solve.
+//
+// SolveGomory layers fractional cutting planes on top of Solve for pure
+// integer programs with integral data; the milp package applies it at the
+// root of the branch-and-bound tree and shares the generated cuts with
+// every node.
+package lp

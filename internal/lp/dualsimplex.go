@@ -1,0 +1,310 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// Warm-started re-optimization.
+//
+// A branch-and-bound child differs from its parent LP by one tightened
+// variable bound: either the right-hand side of an existing bound row
+// moved, or one new bound row was appended. Both leave the parent's
+// optimal basis dual feasible (reduced costs do not depend on b), so the
+// cheapest way to solve the child is to restore the parent basis into the
+// child tableau and run dual-simplex pivots until primal feasibility is
+// repaired — no phase-1 artificials, and typically only a handful of
+// pivots instead of a full two-phase solve.
+
+// Basis is a compact snapshot of a simplex basis, taken from an optimal
+// solve (Solution.Basis) and restorable onto a related problem via
+// SolveFrom. The encoding is shape-stable: each entry names the basic
+// column either as a structural variable index or as "the slack/surplus
+// column of constraint row i", so it survives appending rows (which
+// shifts raw auxiliary column indices).
+type Basis struct {
+	// rows[i] encodes the column basic in snapshot row i: v >= 0 is the
+	// structural variable v; v < 0 is the auxiliary (slack/surplus) column
+	// of constraint row ^v.
+	rows []int32
+	// n is the structural variable count of the snapshot's problem.
+	n int
+}
+
+// Rows returns the number of constraint rows the snapshot covers.
+func (b *Basis) Rows() int { return len(b.rows) }
+
+// snapshotBasis captures the current basis, or nil when it cannot be
+// restored elsewhere (a redundant row, or an artificial still basic).
+func (t *tableau) snapshotBasis() *Basis {
+	// Invert rowAux: auxiliary column -> owning row.
+	owner := make(map[int]int32, t.m)
+	for i, c := range t.rowAux {
+		if c < t.artStart {
+			owner[c] = int32(i)
+		}
+	}
+	rows := make([]int32, t.m)
+	for i := 0; i < t.m; i++ {
+		if t.redundant[i] {
+			return nil
+		}
+		c := t.basis[i]
+		switch {
+		case c < t.n:
+			rows[i] = int32(c)
+		case c < t.artStart:
+			r, ok := owner[c]
+			if !ok {
+				return nil
+			}
+			rows[i] = ^r
+		default:
+			return nil // artificial basic
+		}
+	}
+	return &Basis{rows: rows, n: t.n}
+}
+
+// SolveFrom re-optimizes p starting from a basis snapshotted on a related
+// problem: same structural variables, and constraint rows that extend the
+// snapshot's rows (identical prefix, new rows appended, right-hand sides
+// free to move). It restores the basis into a fresh tableau, repairs
+// primal feasibility with dual-simplex pivots and polishes with primal
+// pivots. Whenever the warm start is rejected — nil or mismatched basis,
+// a singular restore, lost dual feasibility, or an iteration limit — it
+// falls back transparently to the cold two-phase Solve; Solution.Warm
+// reports which path produced the result.
+func SolveFrom(p *Problem, b *Basis, opts *Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	wasted := 0
+	if b != nil && b.n == p.NumVars() && len(b.rows) <= len(p.Constraints) {
+		t := newTableau(p, opts)
+		if sol, ok := t.solveFrom(p, b); ok {
+			return sol, nil
+		}
+		wasted = t.pivots // restore/dual pivots spent before the rejection
+	}
+	t := newTableau(p, opts)
+	sol, err := t.solve(p)
+	// The discarded warm attempt was real work; keep the iteration count
+	// honest so warm-vs-cold pivot comparisons cannot hide rejections.
+	sol.Iterations += wasted
+	return sol, err
+}
+
+// solveFrom attempts the warm-started solve; ok == false means the caller
+// must fall back to a cold solve.
+func (t *tableau) solveFrom(p *Problem, b *Basis) (Solution, bool) {
+	if !t.restoreBasis(b) {
+		return Solution{}, false
+	}
+	t.setObjective(p.Objective)
+	dt := t.degenTol()
+	// The restored basis must still be dual feasible (up to roundoff); a
+	// materially negative reduced cost means the basis is stale.
+	for j := 0; j < t.artStart; j++ {
+		if t.obj[j] < -dt {
+			return Solution{}, false
+		}
+	}
+	forbid := func(col int) bool { return col >= t.artStart }
+	switch t.dualIterate(forbid) {
+	case Infeasible:
+		return Solution{Status: Infeasible, Iterations: t.pivots, Warm: true}, true
+	case IterLimit:
+		return Solution{}, false
+	}
+	// Polish: dual pivots maintain dual feasibility only up to roundoff;
+	// primal pivots clean any residue (usually zero iterations).
+	if st := t.iterate(forbid); st != Optimal {
+		return Solution{}, false
+	}
+	// Trust but verify before reporting optimality through the warm path.
+	for i := 0; i < t.m; i++ {
+		if !t.redundant[i] && t.rhs[i] < -dt {
+			return Solution{}, false
+		}
+	}
+	for j := 0; j < t.artStart; j++ {
+		if t.obj[j] < -dt {
+			return Solution{}, false
+		}
+	}
+	x := make([]float64, t.n)
+	for i := 0; i < t.m; i++ {
+		if bc := t.basis[i]; bc < t.n {
+			x[bc] = t.rhs[i]
+		}
+	}
+	return Solution{
+		Status:     Optimal,
+		X:          x,
+		Objective:  t.objVal,
+		Iterations: t.pivots,
+		Duals:      t.duals(),
+		Basis:      t.snapshotBasis(),
+		Warm:       true,
+	}, true
+}
+
+// restoreBasis pivots the fresh tableau to the snapshot basis: snapshot
+// rows take their recorded basic column, appended rows keep their own
+// slack/surplus. Each restore pivot is one Gaussian elimination step with
+// partial (largest-entry) row selection, so the restore succeeds exactly
+// when the requested basis matrix is numerically nonsingular.
+func (t *tableau) restoreBasis(b *Basis) bool {
+	inBasis := make([]bool, t.total)
+	targets := make([]int, 0, t.m)
+	add := func(col int) bool {
+		if col >= t.artStart || inBasis[col] {
+			return false
+		}
+		inBasis[col] = true
+		targets = append(targets, col)
+		return true
+	}
+	for _, enc := range b.rows {
+		col := int(enc)
+		if enc < 0 {
+			r := int(^enc)
+			if r >= t.m {
+				return false
+			}
+			col = t.rowAux[r]
+		} else if col >= t.n {
+			return false
+		}
+		if !add(col) {
+			return false
+		}
+	}
+	// Rows appended after the snapshot (new bound rows) enter with their
+	// own auxiliary basic; an appended equality row has only an
+	// artificial, which cannot be warm started.
+	for i := len(b.rows); i < t.m; i++ {
+		if !add(t.rowAux[i]) {
+			return false
+		}
+	}
+
+	// Pass 1: columns that are basic in the initial tableau (slacks and
+	// artificials are identity columns) need no pivot.
+	rowOf := make(map[int]int, t.m)
+	for i, c := range t.basis {
+		rowOf[c] = i
+	}
+	done := make([]bool, t.m)
+	pending := make([]int, 0, len(targets))
+	for _, col := range targets {
+		if r, ok := rowOf[col]; ok && !done[r] {
+			done[r] = true
+			continue
+		}
+		pending = append(pending, col)
+	}
+	// Pass 2: eliminate the rest in deterministic column order, choosing
+	// the largest pivot among unfinished rows.
+	sort.Ints(pending)
+	pivTol := t.degenTol()
+	for _, col := range pending {
+		best, bestAbs := -1, pivTol
+		for r := 0; r < t.m; r++ {
+			if done[r] {
+				continue
+			}
+			if v := math.Abs(t.a[r][col]); v > bestAbs {
+				best, bestAbs = r, v
+			}
+		}
+		if best < 0 {
+			return false // singular or numerically unsafe basis
+		}
+		t.pivot(best, col)
+		done[best] = true
+	}
+	return true
+}
+
+// repairPrimal is the feasibility net behind every Optimal claim of the
+// primal path: degenerate-tie pivots (and the small-negative RHS clamp)
+// can leave a right-hand side slightly negative, which primal pricing
+// alone never notices. The terminal basis is dual feasible, so a few
+// dual-simplex pivots restore primal feasibility exactly; primal pivots
+// then re-polish. The alternation converges immediately in practice; a
+// tableau that refuses to settle is reported as IterLimit — never as a
+// feasible optimum with a violated row, and never as Infeasible (phase 1
+// already proved feasibility).
+func (t *tableau) repairPrimal(st Status, forbid func(col int) bool) Status {
+	if st != Optimal {
+		return st
+	}
+	for round := 0; round < 4; round++ {
+		ok := true
+		for i := 0; i < t.m; i++ {
+			if !t.redundant[i] && t.rhs[i] < -t.tol {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return Optimal
+		}
+		if ds := t.dualIterate(forbid); ds != Optimal {
+			return IterLimit
+		}
+		if ps := t.iterate(forbid); ps != Optimal {
+			return ps
+		}
+	}
+	return IterLimit
+}
+
+// dualIterate runs dual-simplex pivots on a dual-feasible tableau until
+// primal feasibility (Optimal), a proof that no feasible point exists
+// (Infeasible), or the pivot cap (IterLimit). The leaving row is the most
+// negative right-hand side; the entering column minimizes the dual ratio
+// reduced-cost / |entry|, keeping the smallest column index on near-ties
+// (deterministic, and Bland-like against degenerate cycling).
+func (t *tableau) dualIterate(forbid func(col int) bool) Status {
+	dt := t.degenTol()
+	for t.pivots < t.maxIter {
+		row := -1
+		worst := -t.tol
+		for i := 0; i < t.m; i++ {
+			if t.redundant[i] {
+				continue
+			}
+			if t.rhs[i] < worst {
+				worst, row = t.rhs[i], i
+			}
+		}
+		if row < 0 {
+			return Optimal
+		}
+		arow := t.a[row]
+		col := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < t.total; j++ {
+			if forbid != nil && forbid(j) {
+				continue
+			}
+			a := arow[j]
+			if a >= -t.tol {
+				continue
+			}
+			if ratio := t.obj[j] / -a; ratio < bestRatio-dt {
+				col, bestRatio = j, ratio
+			}
+		}
+		if col < 0 {
+			// The row reads Σ a_ij·x_j = rhs < 0 with every usable
+			// coefficient >= 0: no non-negative point satisfies it.
+			return Infeasible
+		}
+		t.pivot(row, col)
+	}
+	return IterLimit
+}

@@ -27,6 +27,9 @@ import (
 // GomoryResult is the outcome of SolveGomory.
 type GomoryResult struct {
 	// Solution is the LP optimum of the final (cut-augmented) relaxation.
+	// Its Iterations field accumulates the pivots of every round's solve,
+	// not just the last one, so callers tracking total simplex work see
+	// the full cost of the cutting-plane loop.
 	Solution Solution
 	// Cuts holds the generated constraints in structural-variable space,
 	// in generation order. They are valid for every integer point of the
@@ -54,12 +57,15 @@ func SolveGomory(p *Problem, opts *Options, maxRounds int) (GomoryResult, error)
 	)
 	maxTotalCuts := 4 * (len(p.Constraints) + p.NumVars())
 	lastObj := math.Inf(-1)
+	totalIters := 0
 	for round := 0; ; round++ {
 		t := newTableau(work, opts)
 		sol, err := t.solve(work)
 		if err != nil {
 			return res, err
 		}
+		totalIters += sol.Iterations
+		sol.Iterations = totalIters
 		res.Solution = sol
 		if sol.Status != Optimal {
 			return res, nil

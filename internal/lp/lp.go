@@ -1,16 +1,3 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs in the form
-//
-//	minimize    c·x
-//	subject to  A_i·x {<=,>=,=} b_i   for every constraint i
-//	            x >= 0
-//
-// It is the linear-programming substrate under the branch-and-bound MILP
-// solver (package milp), which together replace the commercial ILP solver
-// (Gurobi) used by the paper. The implementation favours robustness at the
-// modest sizes of the paper's instances: dense tableau storage, Dantzig
-// pricing with an automatic switch to Bland's rule for anti-cycling, and a
-// phase-1 artificial-variable start.
 package lp
 
 import (
@@ -145,6 +132,15 @@ type Solution struct {
 	// unrestricted, and at optimality b·Duals == Objective (strong
 	// duality). Rows proven redundant report 0.
 	Duals []float64
+	// Basis is a snapshot of the optimal basis, restorable on a related
+	// problem via SolveFrom. It is nil when the status is not Optimal or
+	// when the basis cannot be re-used (a redundant row, or an artificial
+	// variable left basic by a degenerate phase 1).
+	Basis *Basis
+	// Warm reports that this solution came from SolveFrom's warm-started
+	// dual-simplex path; false means a cold two-phase solve produced it
+	// (including SolveFrom calls that fell back).
+	Warm bool
 }
 
 // Options tunes the solver.

@@ -55,17 +55,22 @@ func newTableau(p *Problem, opts *Options) *tableau {
 		tol:       opts.tol(),
 		maxIter:   opts.maxIter(m, n),
 		basis:     make([]int, m),
+		obj:       make([]float64, n+numSlack+numArt), // zero objective until setObjective (pivots may run first during a basis restore)
 		rhs:       make([]float64, m),
 		redundant: make([]bool, m),
 		rowAux:    make([]int, m),
 		rowAuxNeg: make([]bool, m),
 		rowFlip:   make([]bool, m),
 	}
+	// All rows live in one backing arena: a single allocation per tableau
+	// keeps the pivot loops cache-friendly and makes every solve's mutable
+	// state private to that solve (workers never share tableau memory).
+	backing := make([]float64, m*t.total)
 	t.a = make([][]float64, m)
 	slackCol := n
 	artCol := t.artStart
 	for i, c := range p.Constraints {
-		row := make([]float64, t.total)
+		row := backing[i*t.total : (i+1)*t.total : (i+1)*t.total]
 		sign := 1.0
 		rel := c.Rel
 		rhs := c.RHS
@@ -114,10 +119,11 @@ func flip(r Relation) Relation {
 	return EQ
 }
 
-// setObjective installs the cost vector (length total; missing entries are
-// zero) and prices out the current basis so reduced costs are consistent.
+// setObjective installs the cost vector (shorter slices are zero-padded)
+// and prices out the current basis so reduced costs are consistent. The
+// objective row allocated by newTableau is reused across phases.
 func (t *tableau) setObjective(cost []float64) {
-	t.obj = make([]float64, t.total)
+	clear(t.obj)
 	copy(t.obj, cost)
 	t.objVal = 0
 	for i := 0; i < t.m; i++ {
@@ -225,10 +231,18 @@ func (t *tableau) chooseEntering(forbid func(int) bool, bland bool) int {
 
 // chooseLeaving runs the minimum-ratio test on the entering column,
 // breaking ties toward the smallest basis variable index (lexicographic
-// safeguard that pairs with Bland's rule).
+// safeguard that pairs with Bland's rule). Tie detection uses the shared
+// degeneracy tolerance, but only in the degenerate regime (both ratios
+// within degenTol of zero): that is where cycling lives, and where
+// roundoff-blurred zeros must still be recognized as the same degenerate
+// pivot for the lexicographic ordering to bite. Away from zero the
+// window stays at the base tolerance — treating genuinely different
+// ratios as ties would pivot past the true minimum and push another
+// row's right-hand side negative beyond the feasibility guarantee.
 func (t *tableau) chooseLeaving(col int) int {
 	bestRow := -1
 	bestRatio := math.Inf(1)
+	dt := t.degenTol()
 	for i := 0; i < t.m; i++ {
 		if t.redundant[i] {
 			continue
@@ -238,9 +252,21 @@ func (t *tableau) chooseLeaving(col int) int {
 			continue
 		}
 		ratio := t.rhs[i] / aij
-		if ratio < bestRatio-t.tol ||
-			(ratio < bestRatio+t.tol && (bestRow < 0 || t.basis[i] < t.basis[bestRow])) {
+		win := t.tol
+		if ratio < dt && bestRatio < dt {
+			win = dt
+		}
+		switch {
+		case ratio < bestRatio-win:
 			bestRow, bestRatio = i, ratio
+		case ratio < bestRatio+win && (bestRow < 0 || t.basis[i] < t.basis[bestRow]):
+			// Tied within the window: take the lexicographically smaller
+			// row but keep the true minimum ratio as the reference, so
+			// chained ties cannot drift the window upward.
+			bestRow = i
+			if ratio < bestRatio {
+				bestRatio = ratio
+			}
 		}
 	}
 	return bestRow
@@ -260,7 +286,7 @@ func (t *tableau) solve(p *Problem) (Solution, error) {
 		if st == IterLimit {
 			return Solution{Status: IterLimit, Iterations: t.pivots}, nil
 		}
-		if t.objVal > sqrtTol(t.tol) {
+		if t.objVal > t.degenTol() {
 			return Solution{Status: Infeasible, Iterations: t.pivots}, nil
 		}
 		t.evictArtificials()
@@ -268,10 +294,9 @@ func (t *tableau) solve(p *Problem) (Solution, error) {
 	}
 
 	// Phase 2: original objective; artificials may not re-enter.
-	cost := make([]float64, t.total)
-	copy(cost, p.Objective)
-	t.setObjective(cost)
-	st := t.iterate(func(col int) bool { return col >= t.artStart })
+	t.setObjective(p.Objective)
+	forbid := func(col int) bool { return col >= t.artStart }
+	st := t.repairPrimal(t.iterate(forbid), forbid)
 	switch st {
 	case Optimal:
 		x := make([]float64, t.n)
@@ -280,7 +305,7 @@ func (t *tableau) solve(p *Problem) (Solution, error) {
 				x[b] = t.rhs[i]
 			}
 		}
-		return Solution{Status: Optimal, X: x, Objective: t.objVal, Iterations: t.pivots, Duals: t.duals()}, nil
+		return Solution{Status: Optimal, X: x, Objective: t.objVal, Iterations: t.pivots, Duals: t.duals(), Basis: t.snapshotBasis()}, nil
 	case Unbounded:
 		return Solution{Status: Unbounded, Iterations: t.pivots}, nil
 	default:
@@ -322,7 +347,7 @@ func (t *tableau) evictArtificials() {
 		}
 		pivoted := false
 		for j := 0; j < t.artStart; j++ {
-			if math.Abs(t.a[i][j]) > sqrtTol(t.tol) {
+			if math.Abs(t.a[i][j]) > t.degenTol() {
 				t.pivot(i, j)
 				pivoted = true
 				break
@@ -337,4 +362,13 @@ func (t *tableau) evictArtificials() {
 // sqrtTol loosens the base tolerance for aggregate feasibility decisions.
 func sqrtTol(tol float64) float64 {
 	return math.Sqrt(tol)
+}
+
+// degenTol is the shared degeneracy tolerance: the width used to call two
+// quantities "equal up to roundoff" in tie-breaking, basis-restore pivot
+// admission and warm-start verification. It is deliberately the same
+// loosened sqrtTol scale as the phase-1 feasibility decision so every
+// degeneracy judgement in the solver agrees.
+func (t *tableau) degenTol() float64 {
+	return sqrtTol(t.tol)
 }

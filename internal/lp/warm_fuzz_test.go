@@ -1,0 +1,98 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSolveFrom hardens the basis snapshot/restore path: for a randomized
+// base LP, snapshot the optimum, apply a fuzzer-chosen perturbation (patch
+// one right-hand side or append one bound row), and re-optimize from the
+// snapshot. SolveFrom must never panic, and whenever both the warm and the
+// cold solver report Optimal they must agree on the objective and the warm
+// point must be primal feasible — the transparent-fallback contract.
+func FuzzSolveFrom(f *testing.F) {
+	f.Add(uint64(1), uint8(0), float64(3), false)
+	f.Add(uint64(7), uint8(2), float64(-2), true)
+	f.Add(uint64(42), uint8(9), float64(0.5), false)
+	f.Add(uint64(0xBEEF), uint8(255), float64(1e6), true)
+	f.Fuzz(func(t *testing.T, seed uint64, pick uint8, delta float64, appendRow bool) {
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			return
+		}
+		r := rand.New(rand.NewSource(int64(seed)))
+		p := randomCoverLP(r, 2+r.Intn(6), 1+r.Intn(5))
+		parent, err := Solve(p, nil)
+		if err != nil {
+			t.Fatalf("base Solve: %v", err)
+		}
+		if parent.Status != Optimal || parent.Basis == nil {
+			return
+		}
+
+		q := p.Clone()
+		if appendRow {
+			j := int(pick) % q.NumVars()
+			row := make([]float64, q.NumVars())
+			row[j] = 1
+			rel := LE
+			if delta < 0 {
+				rel = GE
+			}
+			q.Constraints = append(q.Constraints, Constraint{
+				Coeffs: row, Rel: rel, RHS: math.Abs(delta),
+			})
+		} else {
+			i := int(pick) % len(q.Constraints)
+			q.Constraints[i].RHS += delta
+		}
+
+		warm, err := SolveFrom(q, parent.Basis, nil)
+		if err != nil {
+			t.Fatalf("SolveFrom: %v", err)
+		}
+		cold, err := Solve(q, nil)
+		if err != nil {
+			t.Fatalf("cold Solve: %v", err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("warm status %v != cold status %v (seed=%d pick=%d delta=%g append=%v)",
+				warm.Status, cold.Status, seed, pick, delta, appendRow)
+		}
+		if warm.Status != Optimal {
+			return
+		}
+		scale := 1 + math.Abs(cold.Objective)
+		if math.Abs(warm.Objective-cold.Objective) > 1e-5*scale {
+			t.Fatalf("warm objective %g != cold %g (seed=%d pick=%d delta=%g append=%v)",
+				warm.Objective, cold.Objective, seed, pick, delta, appendRow)
+		}
+		for j, v := range warm.X {
+			if v < -1e-6 {
+				t.Fatalf("warm X[%d] = %g negative", j, v)
+			}
+		}
+		for i, c := range q.Constraints {
+			dot := 0.0
+			for j, a := range c.Coeffs {
+				dot += a * warm.X[j]
+			}
+			slack := 1e-6 * (1 + math.Abs(c.RHS))
+			switch c.Rel {
+			case LE:
+				if dot > c.RHS+slack {
+					t.Fatalf("warm point violates row %d: %g > %g", i, dot, c.RHS)
+				}
+			case GE:
+				if dot < c.RHS-slack {
+					t.Fatalf("warm point violates row %d: %g < %g", i, dot, c.RHS)
+				}
+			case EQ:
+				if math.Abs(dot-c.RHS) > slack {
+					t.Fatalf("warm point violates row %d: %g != %g", i, dot, c.RHS)
+				}
+			}
+		}
+	})
+}

@@ -14,6 +14,12 @@
 //     124 and is cut;
 //   - wall-clock time limit with best-found reporting, reproducing the
 //     paper's "ILP hits its 100 s budget" experiment (Fig. 8);
+//   - dual-simplex LP warm starts: a child's LP is its parent's with one
+//     bound row patched or appended (build-once + patch-bound, never a
+//     rebuild), and it re-optimizes from the parent's optimal basis via
+//     lp.SolveFrom — most of the per-node simplex work disappears on deep
+//     trees, with a transparent cold-solve fallback whenever a restore is
+//     rejected (see Options.DisableWarmLP to switch the path off);
 //   - parallel search: the best-bound frontier is expanded in rounds of
 //     up to Options.Workers nodes, and every child LP relaxation of the
 //     round — including all strong-branching candidates — solves
@@ -133,6 +139,16 @@ type Options struct {
 	// report different optimal points. NodeLimit is honored exactly;
 	// TimeLimit is checked between rounds.
 	Workers int
+	// DisableWarmLP forces a cold two-phase simplex solve at every node
+	// instead of the default dual-simplex warm start from the parent's
+	// optimal basis (ablation/debugging; the optimum is identical either
+	// way, warm starts only change how many pivots reach it).
+	DisableWarmLP bool
+	// OnIncumbent, when set, is invoked every time the search accepts a
+	// new incumbent, with its objective and point (the slice must not be
+	// retained or modified). Calls happen on the coordinator goroutine in
+	// deterministic order, including the initial Incumbent warm start.
+	OnIncumbent func(obj float64, x []float64)
 	// LP tunes the inner simplex solver.
 	LP *lp.Options
 }
@@ -155,14 +171,40 @@ type Result struct {
 	Elapsed   time.Duration
 	// Gap is (Objective-Bound)/max(1,|Objective|); zero when optimal.
 	Gap float64
+	// LPIterations is the total number of simplex pivots across every
+	// node LP solved during the search (including warm-start restore
+	// pivots and speculative strong-branching children).
+	LPIterations int
+	// WarmLPSolves and ColdLPSolves split the node LP solves by path:
+	// warm dual-simplex re-optimizations versus cold two-phase solves
+	// (the root, warm-start rejections, and everything under
+	// Options.DisableWarmLP).
+	WarmLPSolves int
+	ColdLPSolves int
 }
 
 // node is one branch-and-bound subproblem, defined by variable bounds.
+// Each node carries its materialized LP (base rows plus bound rows in
+// branching order) and, through relax.Basis, the optimal basis its
+// children re-optimize from with dual-simplex warm starts.
 type node struct {
 	bounds map[int]varBound
-	relax  lp.Solution
-	bound  float64
-	seq    int
+	// boundRows lists the bound rows appended after the base constraints,
+	// in the order they were introduced along the path from the root. A
+	// child's LP is its parent's LP with exactly one of these rows patched
+	// (same variable and sense tightened again) or appended (first bound
+	// of that variable and sense) — never rebuilt from scratch.
+	boundRows []boundRow
+	prob      *lp.Problem // base problem plus this node's bound rows
+	relax     lp.Solution
+	bound     float64
+	seq       int
+}
+
+// boundRow identifies one bound row: x_j <= hi (upper) or x_j >= lo.
+type boundRow struct {
+	j     int
+	upper bool
 }
 
 type varBound struct {
@@ -217,6 +259,12 @@ type solver struct {
 	// Worker pool for parallel node expansion (nil when Workers == 1).
 	pool *pool.Pool
 
+	// LP solve statistics, written from pool workers (atomics) and read
+	// by the coordinator when it assembles the Result.
+	lpIters atomic.Int64
+	warmLP  atomic.Int64
+	coldLP  atomic.Int64
+
 	nodes int
 	cuts  int
 	seq   int
@@ -237,13 +285,13 @@ func (s *solver) run() (Result, error) {
 		s.accept(inc, obj)
 	}
 
-	root := &node{bounds: map[int]varBound{}}
+	root := &node{bounds: map[int]varBound{}, prob: s.base}
 	var st lp.Status
 	var err error
 	if s.opts != nil && s.opts.RootCutRounds > 0 {
 		st, err = s.solveRootWithCuts(root)
 	} else {
-		st, err = s.solveRelax(root)
+		st, err = s.solveRelax(root, nil)
 	}
 	if err != nil {
 		return Result{}, err
@@ -316,7 +364,10 @@ func (s *solver) run() (Result, error) {
 }
 
 // buildChild creates and solves one child of n with the extra bound
-// lo <= x_j <= hi merged in. It returns nil when the child is empty,
+// lo <= x_j <= hi merged in. The child's LP is derived from the parent's
+// by patching or appending the single changed bound row (never rebuilt),
+// and its relaxation is re-optimized from the parent's basis via the
+// dual-simplex warm start. It returns nil when the child is empty,
 // infeasible, or numerically unsolvable (all prunable).
 func (s *solver) buildChild(n *node, j int, lo, hi float64) *node {
 	c := &node{bounds: make(map[int]varBound, len(n.bounds)+1)}
@@ -337,11 +388,53 @@ func (s *solver) buildChild(n *node, j int, lo, hi float64) *node {
 		return nil
 	}
 	c.bounds[j] = b
-	st, err := s.solveRelax(c)
+	upper := !math.IsInf(hi, 1)
+	rhs := b.lo
+	if upper {
+		rhs = b.hi
+	}
+	s.patchBound(n, c, j, upper, rhs)
+	st, err := s.solveRelax(c, n.relax.Basis)
 	if err != nil || st != lp.Optimal {
 		return nil
 	}
 	return c
+}
+
+// patchBound derives the child's LP from the parent's: the (j, upper)
+// bound row is patched in place when the parent already has one, or
+// appended as a new trailing row otherwise. Only slice headers and the
+// touched Constraint struct are copied — all coefficient rows are shared,
+// immutable, with the parent — so the appended-row case keeps the exact
+// prefix shape the lp.Basis encoding needs for a warm restore.
+func (s *solver) patchBound(parent, c *node, j int, upper bool, rhs float64) {
+	pc := parent.prob.Constraints
+	idx := -1
+	for k, br := range parent.boundRows {
+		if br.j == j && br.upper == upper {
+			idx = len(s.base.Constraints) + k
+			break
+		}
+	}
+	if idx >= 0 {
+		cons := make([]lp.Constraint, len(pc))
+		copy(cons, pc)
+		cons[idx].RHS = rhs
+		c.prob = &lp.Problem{Objective: s.base.Objective, Constraints: cons}
+		c.boundRows = parent.boundRows // unchanged; shared and never mutated
+		return
+	}
+	cons := make([]lp.Constraint, len(pc), len(pc)+1)
+	copy(cons, pc)
+	row := make([]float64, s.base.NumVars())
+	row[j] = 1
+	rel := lp.GE
+	if upper {
+		rel = lp.LE
+	}
+	cons = append(cons, lp.Constraint{Coeffs: row, Rel: rel, RHS: rhs})
+	c.prob = &lp.Problem{Objective: s.base.Objective, Constraints: cons}
+	c.boundRows = append(append([]boundRow(nil), parent.boundRows...), boundRow{j: j, upper: upper})
 }
 
 func (s *solver) strongBranchLimit() int {
@@ -437,63 +530,52 @@ func (s *solver) solveRootWithCuts(root *node) (lp.Status, error) {
 		s.base = base
 		s.cuts = len(gr.Cuts)
 	}
+	// The Gomory solution (and its basis) belongs to the cut-augmented
+	// problem, which is exactly the node's LP from here on.
+	root.prob = s.base
 	root.relax = gr.Solution
 	root.bound = gr.Solution.Objective
+	s.countLP(gr.Solution)
 	return gr.Solution.Status, nil
 }
 
 // solveRelax solves the LP relaxation of a node and stores bound/solution.
-func (s *solver) solveRelax(n *node) (lp.Status, error) {
-	prob := s.buildLP(n)
+// With a parent basis in hand (and warm starts enabled) it re-optimizes
+// via the dual simplex, falling back to a cold solve transparently inside
+// lp.SolveFrom; the root (basis == nil) always solves cold.
+func (s *solver) solveRelax(n *node, basis *lp.Basis) (lp.Status, error) {
 	var lpOpts *lp.Options
 	if s.opts != nil {
 		lpOpts = s.opts.LP
+		if s.opts.DisableWarmLP {
+			basis = nil
+		}
 	}
-	sol, err := lp.Solve(prob, lpOpts)
+	var sol lp.Solution
+	var err error
+	if basis != nil {
+		sol, err = lp.SolveFrom(n.prob, basis, lpOpts)
+	} else {
+		sol, err = lp.Solve(n.prob, lpOpts)
+	}
 	if err != nil {
 		return 0, err
 	}
+	s.countLP(sol)
 	n.relax = sol
 	n.bound = sol.Objective
 	return sol.Status, nil
 }
 
-// buildLP materializes the node's variable bounds as extra LP rows on top
-// of the (possibly cut-augmented) base problem.
-func (s *solver) buildLP(n *node) *lp.Problem {
-	base := s.base
-	if len(n.bounds) == 0 {
-		return base
+// countLP folds one node LP solve into the search statistics. It runs on
+// pool workers, hence the atomics.
+func (s *solver) countLP(sol lp.Solution) {
+	s.lpIters.Add(int64(sol.Iterations))
+	if sol.Warm {
+		s.warmLP.Add(1)
+	} else {
+		s.coldLP.Add(1)
 	}
-	prob := &lp.Problem{
-		Objective:   base.Objective,
-		Constraints: make([]lp.Constraint, len(base.Constraints), len(base.Constraints)+2*len(n.bounds)),
-	}
-	copy(prob.Constraints, base.Constraints)
-	nv := base.NumVars()
-	// Emit bound rows in sorted variable order: map iteration order would
-	// otherwise shuffle the constraint rows, and simplex tie-breaking
-	// among degenerate optimal bases depends on row order — making trees
-	// (and tie-broken incumbents) vary run to run even sequentially.
-	vars := make([]int, 0, len(n.bounds))
-	for j := range n.bounds {
-		vars = append(vars, j)
-	}
-	sort.Ints(vars)
-	for _, j := range vars {
-		b := n.bounds[j]
-		if b.lo > 0 {
-			row := make([]float64, nv)
-			row[j] = 1
-			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Rel: lp.GE, RHS: b.lo})
-		}
-		if !math.IsInf(b.hi, 1) {
-			row := make([]float64, nv)
-			row[j] = 1
-			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: b.hi})
-		}
-	}
-	return prob
 }
 
 // fractionalVar returns the integer variable farthest from integrality,
@@ -565,6 +647,9 @@ func (s *solver) accept(x []float64, obj float64) {
 	s.bestObj = obj
 	s.hasBest = true
 	s.bestBits.Store(math.Float64bits(obj))
+	if s.opts != nil && s.opts.OnIncumbent != nil {
+		s.opts.OnIncumbent(obj, x)
+	}
 }
 
 // curBest returns the incumbent objective (+inf when none). Safe to call
@@ -595,10 +680,13 @@ func (s *solver) checkLimits() error {
 
 func (s *solver) result(st Status) Result {
 	r := Result{
-		Status:  st,
-		Nodes:   s.nodes,
-		Cuts:    s.cuts,
-		Elapsed: time.Since(s.start),
+		Status:       st,
+		Nodes:        s.nodes,
+		Cuts:         s.cuts,
+		Elapsed:      time.Since(s.start),
+		LPIterations: int(s.lpIters.Load()),
+		WarmLPSolves: int(s.warmLP.Load()),
+		ColdLPSolves: int(s.coldLP.Load()),
 	}
 	if s.hasBest {
 		r.X = s.bestX

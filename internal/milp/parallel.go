@@ -25,6 +25,14 @@
 // filtering is deterministic too; finish re-checks every candidate against
 // the live incumbent before accepting it.
 //
+// Warm starts keep these properties: a child LP solve is a pure function
+// of (parent node, branch variable, direction) — the parent's problem,
+// bound rows and optimal basis are all frozen once the parent is solved
+// and only read afterwards, and every lp.SolveFrom builds its own tableau
+// arena, so workers share no mutable simplex state. A given child
+// therefore gets the same relaxation (same pivots, same vertex) whether
+// it is solved eagerly on a pool worker or lazily on the sequential path.
+//
 // With Workers == 1 no pool is started: prepare and finish run inline and
 // child LPs are solved lazily inside the selection scan, reproducing the
 // classic sequential search (including strong branching's early break)

@@ -57,15 +57,19 @@ func TestCrossValILPMatchesBruteForce(t *testing.T) {
 		m := core.NewCostModel(p)
 		want := BruteForce(m, target).Cost
 		for _, w := range []int{1, 2, 8} {
-			res, err := ILP(m, target, &ILPOptions{Workers: w})
-			if err != nil || !res.Proven {
-				return false
-			}
-			if res.Alloc.Cost != want {
-				return false
-			}
-			if err := m.CheckFeasible(res.Alloc, target); err != nil {
-				return false
+			// Warm-started and cold node LP solves must both land on the
+			// brute-force optimum, bit-identically (costs are integers).
+			for _, coldLP := range []bool{false, true} {
+				res, err := ILP(m, target, &ILPOptions{Workers: w, DisableLPWarmStart: coldLP})
+				if err != nil || !res.Proven {
+					return false
+				}
+				if res.Alloc.Cost != want {
+					return false
+				}
+				if err := m.CheckFeasible(res.Alloc, target); err != nil {
+					return false
+				}
 			}
 		}
 		return true

@@ -41,6 +41,12 @@ type ILPOptions struct {
 	// concurrently per round (0 = GOMAXPROCS, 1 = sequential). The optimal
 	// cost is identical for every worker count; see milp.Options.Workers.
 	Workers int
+	// DisableLPWarmStart forces a cold two-phase simplex solve at every
+	// branch-and-bound node instead of the default dual-simplex
+	// re-optimization from the parent basis (ablation; identical optimal
+	// costs, more simplex pivots). Distinct from WarmStart, which seeds
+	// the incumbent, not the per-node LP solves.
+	DisableLPWarmStart bool
 }
 
 // ILPResult is the outcome of the integer-programming solve.
@@ -54,6 +60,11 @@ type ILPResult struct {
 	Cuts    int // Gomory cuts added at the root
 	Elapsed time.Duration
 	Gap     float64
+	// LPIterations counts simplex pivots across all node LP solves;
+	// WarmLPSolves/ColdLPSolves split those solves by warm-start path.
+	LPIterations int
+	WarmLPSolves int
+	ColdLPSolves int
 }
 
 // BuildMILP encodes Definition 1 with shared task types as the MIP of
@@ -160,6 +171,7 @@ func ILP(m *core.CostModel, target int, opts *ILPOptions) (ILPResult, error) {
 		NodeLimit:         opts.NodeLimit,
 		IntegralObjective: !opts.DisableIntegralPruning,
 		Workers:           opts.Workers,
+		DisableWarmLP:     opts.DisableLPWarmStart,
 	}
 	if !opts.DisableStrongBranch {
 		mopts.StrongBranch = 8
@@ -189,13 +201,16 @@ func ILP(m *core.CostModel, target int, opts *ILPOptions) (ILPResult, error) {
 		return ILPResult{}, err
 	}
 	out := ILPResult{
-		Status:  res.Status,
-		Bound:   res.Bound,
-		Nodes:   res.Nodes,
-		Cuts:    res.Cuts,
-		Elapsed: res.Elapsed,
-		Gap:     res.Gap,
-		Proven:  res.Status == milp.Optimal,
+		Status:       res.Status,
+		Bound:        res.Bound,
+		Nodes:        res.Nodes,
+		Cuts:         res.Cuts,
+		Elapsed:      res.Elapsed,
+		Gap:          res.Gap,
+		Proven:       res.Status == milp.Optimal,
+		LPIterations: res.LPIterations,
+		WarmLPSolves: res.WarmLPSolves,
+		ColdLPSolves: res.ColdLPSolves,
 	}
 	if res.Status == milp.Optimal || res.Status == milp.Feasible {
 		rho := make([]int, m.J)

@@ -130,6 +130,11 @@ type SolveOptions struct {
 	// concurrently, each with a sequential inner search — one level of
 	// parallelism, no oversubscription.
 	Workers int
+	// DisableLPWarmStart switches off the dual-simplex LP warm starts
+	// inside branch and bound (every node then re-solves its relaxation
+	// cold from scratch). The optimal cost is identical either way; the
+	// toggle exists for ablation and for diagnosing numerical trouble.
+	DisableLPWarmStart bool
 }
 
 // Solution is the outcome of the exact solver.
@@ -141,6 +146,10 @@ type Solution struct {
 	Bound float64
 	// Nodes counts explored branch-and-bound nodes.
 	Nodes int
+	// LPIterations counts simplex pivots across all node LP solves (a
+	// hardware-independent measure of the solver work; dual-simplex warm
+	// starts exist to shrink it).
+	LPIterations int
 	// Elapsed is the solver wall-clock time.
 	Elapsed time.Duration
 }
@@ -157,6 +166,7 @@ func Solve(p *Problem, opts *SolveOptions) (Solution, error) {
 		iopts.TimeLimit = opts.TimeLimit
 		iopts.WarmStart = opts.WarmStart
 		iopts.Workers = opts.Workers
+		iopts.DisableLPWarmStart = opts.DisableLPWarmStart
 	}
 	res, err := solve.ILP(m, p.Target, &iopts)
 	if err != nil {
@@ -166,11 +176,12 @@ func Solve(p *Problem, opts *SolveOptions) (Solution, error) {
 		return Solution{}, fmt.Errorf("rentmin: no feasible allocation found (status %v)", res.Status)
 	}
 	return Solution{
-		Alloc:   res.Alloc,
-		Proven:  res.Proven,
-		Bound:   res.Bound,
-		Nodes:   res.Nodes,
-		Elapsed: res.Elapsed,
+		Alloc:        res.Alloc,
+		Proven:       res.Proven,
+		Bound:        res.Bound,
+		Nodes:        res.Nodes,
+		LPIterations: res.LPIterations,
+		Elapsed:      res.Elapsed,
 	}, nil
 }
 
@@ -209,6 +220,7 @@ func (p *SolverPool) SolveBatch(problems []*Problem, opts *SolveOptions) ([]Solu
 	each := SolveOptions{Workers: 1}
 	if opts != nil {
 		each.TimeLimit = opts.TimeLimit
+		each.DisableLPWarmStart = opts.DisableLPWarmStart
 	}
 	out := make([]Solution, len(problems))
 	err := p.pool.Run(len(problems), func(i int) error {
