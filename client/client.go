@@ -1,0 +1,236 @@
+// Package client is the typed Go client for the rentmind batch-solve
+// daemon (cmd/rentmind) and the home of the service's wire types.
+//
+//	c := client.New("http://localhost:8080")
+//	sol, err := c.Solve(ctx, problem, &client.Options{TimeLimit: 2 * time.Second})
+//
+// Server-side rejections come back as *client.APIError: admission control
+// rejects oversize problems with HTTP 422, and a full work queue answers
+// 429 with a Retry-After hint (see APIError.RetryAfter and Temporary).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rentmin"
+)
+
+// Options tunes one Solve or SolveBatch call.
+type Options struct {
+	// TimeLimit bounds the request's solve wall clock (whole batch for
+	// SolveBatch). Zero uses the daemon's default; the daemon clamps
+	// values above its configured maximum.
+	TimeLimit time.Duration
+	// Target, when > 0, overrides the problem's target throughput
+	// (Solve only; batch problems keep their own targets).
+	Target int
+}
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	// StatusCode is the HTTP status: 400 malformed, 422 admission
+	// rejection, 429 queue overflow, 503 draining, 504 deadline hit
+	// before any feasible allocation existed.
+	StatusCode int
+	// Message is the server's error text.
+	Message string
+	// RetryAfter is the server's Retry-After hint on 429/503 responses,
+	// zero when absent.
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rentmind: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Temporary reports whether retrying the same request later can succeed
+// (queue overflow or a draining server, as opposed to a rejected or
+// malformed problem).
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
+}
+
+// Client talks to one rentmind daemon. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080"). The default http.Client is used; see
+// NewWithHTTPClient to supply one with custom transport settings.
+func New(baseURL string) *Client {
+	return NewWithHTTPClient(baseURL, nil)
+}
+
+// NewWithHTTPClient is New with an explicit *http.Client (nil falls back
+// to http.DefaultClient). Per-request deadlines should be set through
+// ctx or Options.TimeLimit rather than http.Client.Timeout, so that slow
+// solves and slow transports stay distinguishable.
+func NewWithHTTPClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(baseURL) > 0 && baseURL[len(baseURL)-1] == '/' {
+		baseURL = baseURL[:len(baseURL)-1]
+	}
+	return &Client{base: baseURL, hc: hc}
+}
+
+// BaseURL returns the daemon base URL the client was created with.
+func (c *Client) BaseURL() string { return c.base }
+
+// Solve submits one problem to POST /v1/solve and returns its solution.
+// Cancelling ctx aborts the request and — server-side — stops the
+// branch-and-bound search mid-round.
+func (c *Client) Solve(ctx context.Context, p *rentmin.Problem, opts *Options) (*Solution, error) {
+	raw, err := encodeProblem(p)
+	if err != nil {
+		return nil, err
+	}
+	req := SolveRequest{Problem: raw}
+	if opts != nil {
+		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
+		if opts.Target > 0 {
+			t := opts.Target
+			req.Target = &t
+		}
+	}
+	var sol Solution
+	if err := c.post(ctx, "/v1/solve", req, &sol); err != nil {
+		return nil, err
+	}
+	return &sol, nil
+}
+
+// SolveBatch submits problems to POST /v1/batch and returns the
+// solutions in input order. Items that failed or never started before
+// the batch deadline have Error set instead of an allocation.
+func (c *Client) SolveBatch(ctx context.Context, problems []*rentmin.Problem, opts *Options) ([]Solution, error) {
+	req := BatchRequest{Problems: make([]json.RawMessage, len(problems))}
+	for i, p := range problems {
+		raw, err := encodeProblem(p)
+		if err != nil {
+			return nil, fmt.Errorf("problem %d: %w", i, err)
+		}
+		req.Problems[i] = raw
+	}
+	if opts != nil {
+		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
+	}
+	var resp BatchResponse
+	if err := c.post(ctx, "/v1/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Solutions) != len(problems) {
+		return nil, fmt.Errorf("rentmind: batch returned %d solutions for %d problems", len(resp.Solutions), len(problems))
+	}
+	return resp.Solutions, nil
+}
+
+// Health calls GET /healthz. A draining daemon responds 503; that status
+// is still decoded into Health (Status "draining") and returned without
+// error.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	body, status, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	if status != http.StatusOK && status != http.StatusServiceUnavailable {
+		return h, apiError(status, body, nil)
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return h, fmt.Errorf("rentmind: decode health: %w", err)
+	}
+	return h, nil
+}
+
+// Metrics returns the raw Prometheus-style text of GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	body, status, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusOK {
+		return "", apiError(status, body, nil)
+	}
+	return string(body), nil
+}
+
+func encodeProblem(p *rentmin.Problem) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := rentmin.WriteProblem(&buf, p); err != nil {
+		return nil, fmt.Errorf("encode problem: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (c *Client) post(ctx context.Context, path string, reqBody, out interface{}) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("encode request: %w", err)
+	}
+	body, status, hdr, err := c.doFull(ctx, http.MethodPost, path, payload)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return apiError(status, body, hdr)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("rentmind: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, payload []byte) ([]byte, int, error) {
+	body, status, _, err := c.doFull(ctx, method, path, payload)
+	return body, status, err
+}
+
+func (c *Client) doFull(ctx context.Context, method, path string, payload []byte) ([]byte, int, http.Header, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("rentmind: read response: %w", err)
+	}
+	return body, resp.StatusCode, resp.Header, nil
+}
+
+func apiError(status int, body []byte, hdr http.Header) error {
+	e := &APIError{StatusCode: status, Message: http.StatusText(status)}
+	var er ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		e.Message = er.Error
+	}
+	if hdr != nil {
+		if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}

@@ -1,0 +1,93 @@
+package client
+
+import (
+	"encoding/json"
+
+	"rentmin"
+)
+
+// Wire types of the rentmind HTTP API (see internal/server for the
+// daemon). They live in this package — not in the server — so that
+// external programs can name them: the server imports them back, which
+// guarantees client and daemon can never drift apart.
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Problem is one MinCost instance in the rentmin JSON schema (the
+	// same document rentmin.ReadProblem accepts). The daemon decodes it
+	// with the fuzz-hardened core ingestion: unknown fields and invalid
+	// instances are rejected with 400.
+	Problem json.RawMessage `json:"problem"`
+	// Target, when non-nil, overrides the problem's target_throughput.
+	Target *int `json:"target,omitempty"`
+	// TimeLimitMs bounds the solve wall clock in milliseconds. Zero uses
+	// the daemon's default; values above the daemon's maximum are
+	// clamped. When the limit stops the search the best allocation found
+	// so far is returned with Proven == false.
+	TimeLimitMs int64 `json:"time_limit_ms,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// Problems are the instances to solve, each at its own target.
+	Problems []json.RawMessage `json:"problems"`
+	// TimeLimitMs bounds the whole batch in milliseconds (zero = daemon
+	// default, clamped to the daemon maximum). When it expires, finished
+	// problems keep their solutions, in-flight searches stop with their
+	// best incumbent (Proven == false), and problems that never started
+	// report a per-item Error.
+	TimeLimitMs int64 `json:"time_limit_ms,omitempty"`
+}
+
+// Solution is one solve outcome: the body of a /v1/solve response and one
+// element of a /v1/batch response.
+type Solution struct {
+	// Allocation is the chosen rental: per-graph throughputs, machine
+	// counts per type, and the hourly cost.
+	Allocation Allocation `json:"allocation"`
+	// Proven reports whether the allocation is proven optimal; false
+	// means a deadline stopped the search with the best incumbent so far.
+	Proven bool `json:"proven"`
+	// Bound is the proven lower bound on the optimal cost.
+	Bound float64 `json:"bound"`
+	// Nodes counts explored branch-and-bound nodes.
+	Nodes int `json:"nodes"`
+	// LPIterations counts simplex pivots across all node LP solves.
+	LPIterations int `json:"lp_iterations"`
+	// LPSolves counts node LP relaxations solved; WastedLPSolves is the
+	// subset the parallel search speculated on and discarded.
+	LPSolves       int `json:"lp_solves"`
+	WastedLPSolves int `json:"wasted_lp_solves"`
+	// ElapsedMs is the solver wall clock in milliseconds.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Error is set instead of the other fields when a batch item failed
+	// or never started before the batch deadline.
+	Error string `json:"error,omitempty"`
+}
+
+// Allocation is rentmin.Allocation: the wire schema is its JSON encoding
+// (graph_throughput, machines, cost), so a received allocation can be fed
+// straight back into rentmin.Simulate.
+type Allocation = rentmin.Allocation
+
+// BatchResponse is the body of a /v1/batch response; Solutions is in
+// input order.
+type BatchResponse struct {
+	Solutions []Solution `json:"solutions"`
+}
+
+// Health is the body of a /healthz response.
+type Health struct {
+	// Status is "ok" while serving and "draining" during shutdown.
+	Status string `json:"status"`
+	// Workers is the solver pool size; QueueDepth counts solves waiting
+	// for a pool worker and InFlight the solves currently running.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	InFlight   int `json:"in_flight"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

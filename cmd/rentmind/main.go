@@ -1,0 +1,108 @@
+// Command rentmind serves rental-minimization solves over HTTP: a batch
+// solve service over a shared solver pool, with problem-size admission
+// control, a bounded work queue, per-request deadlines that cancel the
+// branch-and-bound search mid-round, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	rentmind [-addr :8080] [-solve-workers 0] [-per-solve-workers 1] [-queue 64]
+//	         [-max-graphs 64] [-max-types 256] [-max-tasks 8192]
+//	         [-max-target 1000000] [-max-batch 64] [-max-body 16777216]
+//	         [-default-time-limit 10s] [-max-time-limit 60s]
+//	         [-shutdown-grace 30s]
+//
+// Endpoints (wire types in package rentmin/client, architecture in
+// internal/server):
+//
+//	POST /v1/solve  solve one problem JSON document
+//	POST /v1/batch  solve many problems concurrently
+//	GET  /healthz   liveness and queue gauges (503 while draining)
+//	GET  /metrics   Prometheus-style counters: solve counts, queue depth,
+//	                p50/p99 latency, LP iteration and speculation-waste totals
+//
+// A quick round trip against a running daemon:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/solve \
+//	     -d '{"problem": '"$(cat instance.json)"', "time_limit_ms": 2000}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rentmin/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("rentmind: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("solve-workers", 0, "concurrent solves on the shared pool (0 = GOMAXPROCS)")
+	perSolve := flag.Int("per-solve-workers", 1, "branch-and-bound workers inside each individual solve (default favors throughput; raise on wide machines for single-request latency — and to make the speculation-waste metrics meaningful)")
+	queue := flag.Int("queue", 64, "admitted requests that may wait for a solver beyond the in-flight ones (overflow answers 429)")
+	maxGraphs := flag.Int("max-graphs", 64, "admission limit: recipe graphs per problem (oversize answers 422)")
+	maxTypes := flag.Int("max-types", 256, "admission limit: machine types per problem")
+	maxTasks := flag.Int("max-tasks", 8192, "admission limit: total tasks across a problem's graphs")
+	maxTarget := flag.Int("max-target", 1_000_000, "admission limit: target throughput")
+	maxBatch := flag.Int("max-batch", 64, "admission limit: problems per /v1/batch request")
+	maxBody := flag.Int64("max-body", 16<<20, "request body size limit in bytes")
+	defaultLimit := flag.Duration("default-time-limit", 10*time.Second, "solve deadline when the request sends none")
+	maxLimit := flag.Duration("max-time-limit", 60*time.Second, "hard cap on client-requested solve deadlines")
+	grace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight solves on SIGINT/SIGTERM")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:          *workers,
+		PerSolveWorkers:  *perSolve,
+		QueueDepth:       *queue,
+		MaxGraphs:        *maxGraphs,
+		MaxTypes:         *maxTypes,
+		MaxTasks:         *maxTasks,
+		MaxTarget:        *maxTarget,
+		MaxBatch:         *maxBatch,
+		MaxBodyBytes:     *maxBody,
+		DefaultTimeLimit: *defaultLimit,
+		MaxTimeLimit:     *maxLimit,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (%d solve workers, queue %d)", *addr, srv.Workers(), *queue)
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop routing (healthz 503, queued requests fail
+	// fast), let in-flight solves finish within the grace period, then
+	// release the pool.
+	log.Printf("signal received, draining (grace %v)", *grace)
+	srv.BeginDrain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("drained, bye")
+}

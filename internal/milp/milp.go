@@ -30,6 +30,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -181,6 +182,15 @@ type Result struct {
 	// Options.DisableWarmLP).
 	WarmLPSolves int
 	ColdLPSolves int
+	// WastedLPSolves counts speculative child LP solves that were
+	// discarded because their parent node became prunable mid-round (a
+	// sibling's incumbent improved after the parent was popped). This is
+	// the parallel search's speculation waste; it is always zero when
+	// Workers == 1 (the sequential search prunes at pop time and never
+	// solves such children). The ratio WastedLPSolves/(WarmLPSolves+
+	// ColdLPSolves) measures how much of the LP work parallelism threw
+	// away.
+	WastedLPSolves int
 }
 
 // node is one branch-and-bound subproblem, defined by variable bounds.
@@ -233,16 +243,32 @@ func (h *nodeHeap) Pop() interface{} {
 
 // Solve runs branch and bound.
 func Solve(p *Problem, opts *Options) (Result, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext runs branch and bound under a context. Cancellation (or a
+// context deadline) stops the search like a time limit does: workers skip
+// the remaining child LP solves of the current round, the partially
+// solved round is abandoned, and the best incumbent found so far is
+// returned with Status Feasible (or NoSolution when none exists) and the
+// tightest proven bound. Granularity: cancellation is observed before the
+// root solve, before every child LP, and between merges — but not inside
+// a single simplex solve, so the root relaxation (including its Gomory
+// cut rounds) finishes once started. The exact stopping point depends on
+// when the cancellation lands, so — unlike a fixed worker count with no
+// limits — a cancelled run is not reproducible.
+func SolveContext(ctx context.Context, p *Problem, opts *Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	s := &solver{p: p, opts: opts, start: time.Now(), tol: opts.intTol()}
+	s := &solver{p: p, ctx: ctx, opts: opts, start: time.Now(), tol: opts.intTol()}
 	return s.run()
 }
 
 type solver struct {
 	p     *Problem
 	base  *lp.Problem // original LP plus root cuts
+	ctx   context.Context
 	opts  *Options
 	start time.Time
 	tol   float64
@@ -265,9 +291,10 @@ type solver struct {
 	warmLP  atomic.Int64
 	coldLP  atomic.Int64
 
-	nodes int
-	cuts  int
-	seq   int
+	nodes  int
+	cuts   int
+	seq    int
+	wasted int // speculative child LP solves of mid-round-pruned nodes
 }
 
 var errLimit = errors.New("milp: limit reached")
@@ -283,6 +310,14 @@ func (s *solver) run() (Result, error) {
 			return Result{}, fmt.Errorf("milp: warm-start incumbent rejected: %w", err)
 		}
 		s.accept(inc, obj)
+	}
+
+	// An already-cancelled search must not pay for the root relaxation —
+	// on large instances the root solve plus Gomory cut rounds is the
+	// most expensive single LP phase, and it runs as one uninterruptible
+	// block (no proven bound exists yet, hence the -inf).
+	if s.cancelled() {
+		return s.limitResult(math.Inf(-1)), nil
 	}
 
 	root := &node{bounds: map[int]varBound{}, prob: s.base}
@@ -323,15 +358,7 @@ func (s *solver) run() (Result, error) {
 	lowest := root.bound // best proven global bound
 	for h.Len() > 0 {
 		if err := s.checkLimits(); err != nil {
-			res := s.result(0)
-			res.Bound = math.Min(lowest, res.Bound)
-			if s.hasBest {
-				res.Status = Feasible
-			} else {
-				res.Status = NoSolution
-			}
-			res.Gap = gap(res.Objective, res.Bound)
-			return res, nil
+			return s.limitResult(lowest), nil
 		}
 		batch := s.popBatch(h, workers)
 		if len(batch) == 0 {
@@ -344,12 +371,25 @@ func (s *solver) run() (Result, error) {
 		// dropped (pruned mid-round by a sibling's incumbent) was never
 		// explored in the sequential sense.
 		preps := s.prepareAll(batch)
-		kids := s.solveChildrenAll(preps)
+		kids, solved := s.solveChildrenAll(preps)
+		if s.cancelled() {
+			// Cancellation landed mid-round: the child solves are
+			// (possibly) partial, so merging them could prune on
+			// incomplete information. Abandon the round — the popped
+			// nodes stay unexplored and lowest is still the proven
+			// global bound.
+			return s.limitResult(lowest), nil
+		}
 		for i, p := range preps {
+			if s.cancelled() {
+				// Sequential path: children solve lazily inside finish,
+				// so cancellation is re-checked between merges.
+				return s.limitResult(lowest), nil
+			}
 			if kids == nil {
-				s.finish(h, p, nil)
+				s.finish(h, p, nil, 0)
 			} else {
-				s.finish(h, p, kids[i])
+				s.finish(h, p, kids[i], solved[i])
 			}
 		}
 	}
@@ -666,6 +706,9 @@ func (s *solver) optIncumbent() []float64 {
 }
 
 func (s *solver) checkLimits() error {
+	if s.cancelled() {
+		return errLimit
+	}
 	if s.opts == nil {
 		return nil
 	}
@@ -678,15 +721,37 @@ func (s *solver) checkLimits() error {
 	return nil
 }
 
+// cancelled reports whether the solve context has been cancelled. It is
+// safe on pool workers (ctx.Err is concurrency-safe) and sticky.
+func (s *solver) cancelled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// limitResult assembles the stop-at-limit result (time limit, node limit
+// or context cancellation): the incumbent so far, Status Feasible or
+// NoSolution, and the tightest proven bound given the open frontier.
+func (s *solver) limitResult(lowest float64) Result {
+	res := s.result(0)
+	res.Bound = math.Min(lowest, res.Bound)
+	if s.hasBest {
+		res.Status = Feasible
+	} else {
+		res.Status = NoSolution
+	}
+	res.Gap = gap(res.Objective, res.Bound)
+	return res
+}
+
 func (s *solver) result(st Status) Result {
 	r := Result{
-		Status:       st,
-		Nodes:        s.nodes,
-		Cuts:         s.cuts,
-		Elapsed:      time.Since(s.start),
-		LPIterations: int(s.lpIters.Load()),
-		WarmLPSolves: int(s.warmLP.Load()),
-		ColdLPSolves: int(s.coldLP.Load()),
+		Status:         st,
+		Nodes:          s.nodes,
+		Cuts:           s.cuts,
+		Elapsed:        time.Since(s.start),
+		LPIterations:   int(s.lpIters.Load()),
+		WarmLPSolves:   int(s.warmLP.Load()),
+		ColdLPSolves:   int(s.coldLP.Load()),
+		WastedLPSolves: s.wasted,
 	}
 	if s.hasBest {
 		r.X = s.bestX

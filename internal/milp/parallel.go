@@ -155,12 +155,17 @@ func (s *solver) solveChild(n *node, j, dir int) *node {
 // solveChildrenAll runs phase 2: every (node, branch variable, direction)
 // child LP of the round, flattened into one task list so the pool stays
 // saturated even when the frontier is narrow. It returns kids[i][vi] =
-// {down, up} for preps[i].branchVars[vi]. On the sequential path it
-// returns nil and finish solves children lazily instead, preserving the
-// early break's LP-solve savings.
-func (s *solver) solveChildrenAll(preps []prep) [][][2]*node {
+// {down, up} for preps[i].branchVars[vi], plus per-node counts of the
+// child solves actually performed (the waste accounting of finish). Once
+// the solve context is cancelled, workers skip the remaining child tasks
+// — that is what stops a search mid-round instead of at the next
+// between-rounds limit check; the caller detects the cancellation and
+// abandons the partially solved round. On the sequential path it returns
+// nil and finish solves children lazily instead, preserving the early
+// break's LP-solve savings.
+func (s *solver) solveChildrenAll(preps []prep) ([][][2]*node, []int) {
 	if s.pool == nil {
-		return nil
+		return nil, nil
 	}
 	kids := make([][][2]*node, len(preps))
 	type job struct{ i, vi, dir int }
@@ -171,12 +176,23 @@ func (s *solver) solveChildrenAll(preps []prep) [][][2]*node {
 			jobs = append(jobs, job{i, vi, 0}, job{i, vi, 1})
 		}
 	}
+	ran := make([]bool, len(jobs)) // positional writes, one task each
 	s.runAll(len(jobs), func(t int) {
+		if s.cancelled() {
+			return
+		}
 		jb := jobs[t]
 		p := preps[jb.i]
 		kids[jb.i][jb.vi][jb.dir] = s.solveChild(p.n, p.branchVars[jb.vi], jb.dir)
+		ran[t] = true
 	})
-	return kids
+	solved := make([]int, len(preps))
+	for t, ok := range ran {
+		if ok {
+			solved[jobs[t].i]++
+		}
+	}
+	return kids, solved
 }
 
 // finish runs phase 3 for one node: candidates are re-checked against the
@@ -191,9 +207,12 @@ func (s *solver) solveChildrenAll(preps []prep) [][][2]*node {
 // search would have pruned it at pop time and never expanded it, so
 // keeping its candidates or children would make the incumbent trajectory
 // depend on the worker count. The speculative phase-2 LP solves are the
-// only cost of that race, never a behavioral difference.
-func (s *solver) finish(h *nodeHeap, p prep, kids [][2]*node) {
+// only cost of that race, never a behavioral difference; solvedKids (the
+// node's phase-2 solve count) is folded into Result.WastedLPSolves so the
+// waste ratio of that speculation is observable.
+func (s *solver) finish(h *nodeHeap, p prep, kids [][2]*node, solvedKids int) {
 	if s.pruned(p.n.bound) {
+		s.wasted += solvedKids
 		return
 	}
 	s.nodes++

@@ -1,0 +1,81 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunContextCompletesWithoutCancellation(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var ran atomic.Int64
+	if err := p.RunContext(context.Background(), 20, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if ran.Load() != 20 {
+		t.Errorf("ran %d tasks, want 20", ran.Load())
+	}
+}
+
+func TestRunContextPreCancelledSkipsEverything(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := p.RunContext(ctx, 10, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran despite pre-cancelled context", ran.Load())
+	}
+}
+
+func TestRunContextStopsSubmittingMidway(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	// The first task cancels the context; with one worker every later
+	// task is still unsubmitted at that point and must never start.
+	err := p.RunContext(ctx, 50, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// At most a couple of tasks can already sit in the submission window.
+	if n := ran.Load(); n >= 50 || n < 1 {
+		t.Errorf("ran %d of 50 tasks, want an early stop", n)
+	}
+}
+
+func TestRunContextTaskErrorWinsOverCancellation(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := p.RunContext(ctx, 8, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the lowest-index task error", err)
+	}
+}

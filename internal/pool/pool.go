@@ -6,6 +6,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -52,16 +53,40 @@ func (p *Pool) Workers() int { return p.workers }
 // pool task: a task waiting on its own pool can deadlock once every
 // worker is occupied.
 func (p *Pool) Run(n int, fn func(i int) error) error {
+	return p.RunContext(context.Background(), n, fn)
+}
+
+// RunContext is Run with cancellation: once ctx is done, tasks that have
+// not yet been handed to a worker are never started. Tasks already running
+// are not interrupted by RunContext itself — fn must observe ctx on its
+// own if it wants to stop early. RunContext waits for every started task,
+// then returns the error of the lowest-index failing task; if no task
+// failed but ctx cancellation skipped at least one task, it returns
+// ctx.Err().
+func (p *Pool) RunContext(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
-	wg.Add(n)
+	started := 0
+submit:
 	for i := 0; i < n; i++ {
-		p.jobs <- func() {
+		select {
+		case <-ctx.Done():
+			break submit
+		default:
+		}
+		wg.Add(1)
+		select {
+		case p.jobs <- func() {
 			defer wg.Done()
 			errs[i] = fn(i)
+		}:
+			started++
+		case <-ctx.Done():
+			wg.Done()
+			break submit
 		}
 	}
 	wg.Wait()
@@ -69,6 +94,9 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if started < n {
+		return ctx.Err()
 	}
 	return nil
 }

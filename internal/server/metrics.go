@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"rentmin"
+)
+
+// latencyWindow is the sliding window used for the latency quantiles:
+// large enough for stable p99, small enough to track load shifts.
+const latencyWindow = 1024
+
+// metrics accumulates the daemon's counters. All methods are safe for
+// concurrent use; scraping takes the same mutex, which is fine at scrape
+// rates (the hot path adds a handful of integers per request).
+type metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64
+
+	solves         int64 // problems solved to a 200 (batch items included)
+	unproven       int64 // subset stopped by a deadline with Proven == false
+	nodes          int64
+	lpIterations   int64
+	lpSolves       int64
+	wastedLPSolves int64
+
+	lat  [latencyWindow]float64 // solve/batch request latencies, ms
+	latN int                    // total recorded (ring index = latN % window)
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[reqKey]int64)}
+}
+
+// recordRequest counts one finished HTTP request.
+func (m *metrics) recordRequest(endpoint string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{endpoint, code}]++
+}
+
+// recordLatency folds one successful solve/batch request latency into the
+// quantile window.
+func (m *metrics) recordLatency(ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lat[m.latN%latencyWindow] = ms
+	m.latN++
+}
+
+// recordSolution folds one solved problem's solver statistics in.
+func (m *metrics) recordSolution(sol rentmin.Solution) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solves++
+	if !sol.Proven {
+		m.unproven++
+	}
+	m.nodes += int64(sol.Nodes)
+	m.lpIterations += int64(sol.LPIterations)
+	m.lpSolves += int64(sol.LPSolves)
+	m.wastedLPSolves += int64(sol.WastedLPSolves)
+}
+
+// gauges carries the instantaneous state the metrics page reports next to
+// the accumulated counters.
+type gauges struct {
+	workers    int
+	queueCap   int
+	queueDepth int
+	inFlight   int
+	draining   bool
+}
+
+// writeTo renders the Prometheus text exposition format.
+func (m *metrics) writeTo(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP rentmind_requests_total Finished HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_requests_total counter\n")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "rentmind_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP rentmind_solves_total Problems solved to a response (batch items counted individually).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_solves_total counter\n")
+	fmt.Fprintf(w, "rentmind_solves_total %d\n", m.solves)
+	fmt.Fprintf(w, "# HELP rentmind_unproven_solves_total Solves stopped by a deadline before optimality was proven.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_unproven_solves_total counter\n")
+	fmt.Fprintf(w, "rentmind_unproven_solves_total %d\n", m.unproven)
+
+	fmt.Fprintf(w, "# HELP rentmind_bb_nodes_total Branch-and-bound nodes explored.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_bb_nodes_total counter\n")
+	fmt.Fprintf(w, "rentmind_bb_nodes_total %d\n", m.nodes)
+	fmt.Fprintf(w, "# HELP rentmind_lp_iterations_total Simplex pivots across all node LP solves.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_lp_iterations_total counter\n")
+	fmt.Fprintf(w, "rentmind_lp_iterations_total %d\n", m.lpIterations)
+	fmt.Fprintf(w, "# HELP rentmind_lp_solves_total Node LP relaxations solved (warm plus cold).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_lp_solves_total counter\n")
+	fmt.Fprintf(w, "rentmind_lp_solves_total %d\n", m.lpSolves)
+	fmt.Fprintf(w, "# HELP rentmind_wasted_lp_solves_total Speculative child LPs the parallel search solved and discarded (children of nodes pruned mid-round).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_wasted_lp_solves_total counter\n")
+	fmt.Fprintf(w, "rentmind_wasted_lp_solves_total %d\n", m.wastedLPSolves)
+	ratio := 0.0
+	if m.lpSolves > 0 {
+		ratio = float64(m.wastedLPSolves) / float64(m.lpSolves)
+	}
+	fmt.Fprintf(w, "# HELP rentmind_speculation_waste_ratio Fraction of LP solves discarded as parallel speculation waste.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_speculation_waste_ratio gauge\n")
+	fmt.Fprintf(w, "rentmind_speculation_waste_ratio %g\n", ratio)
+
+	p50, p99 := m.quantiles()
+	fmt.Fprintf(w, "# HELP rentmind_solve_latency_ms Solve/batch request latency over the last %d requests.\n", latencyWindow)
+	fmt.Fprintf(w, "# TYPE rentmind_solve_latency_ms summary\n")
+	fmt.Fprintf(w, "rentmind_solve_latency_ms{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "rentmind_solve_latency_ms{quantile=\"0.99\"} %g\n", p99)
+
+	fmt.Fprintf(w, "# HELP rentmind_workers Solver pool size.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_workers gauge\n")
+	fmt.Fprintf(w, "rentmind_workers %d\n", g.workers)
+	fmt.Fprintf(w, "# HELP rentmind_queue_capacity Maximum queued requests beyond the in-flight ones.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_queue_capacity gauge\n")
+	fmt.Fprintf(w, "rentmind_queue_capacity %d\n", g.queueCap)
+	fmt.Fprintf(w, "# HELP rentmind_queue_depth Solves currently waiting for a worker lease.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_queue_depth gauge\n")
+	fmt.Fprintf(w, "rentmind_queue_depth %d\n", g.queueDepth)
+	fmt.Fprintf(w, "# HELP rentmind_inflight_solves Solves currently holding a worker lease.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_inflight_solves gauge\n")
+	fmt.Fprintf(w, "rentmind_inflight_solves %d\n", g.inFlight)
+	draining := 0
+	if g.draining {
+		draining = 1
+	}
+	fmt.Fprintf(w, "# HELP rentmind_draining 1 while the server is shutting down.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_draining gauge\n")
+	fmt.Fprintf(w, "rentmind_draining %d\n", draining)
+}
+
+// quantiles returns (p50, p99) over the window. Caller holds mu.
+func (m *metrics) quantiles() (p50, p99 float64) {
+	n := m.latN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	tmp := make([]float64, n)
+	copy(tmp, m.lat[:n])
+	sort.Float64s(tmp)
+	at := func(q float64) float64 {
+		i := int(q * float64(n-1))
+		return tmp[i]
+	}
+	return at(0.50), at(0.99)
+}

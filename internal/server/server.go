@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rentmin"
+	"rentmin/client"
+	"rentmin/internal/core"
+)
+
+// Config tunes a Server. The zero value is serviceable: every field has a
+// default, applied by New.
+type Config struct {
+	// Workers is the solver pool size — how many solves run concurrently
+	// (0 = GOMAXPROCS). The pool is saturated by concurrent requests,
+	// which keeps per-request latency predictable under load.
+	Workers int
+	// PerSolveWorkers is the branch-and-bound parallelism inside each
+	// individual solve (0 = 1, sequential). The default favors aggregate
+	// throughput: Workers concurrent sequential solves already use every
+	// core. Raise it on wide machines when single-request latency matters
+	// more than throughput — it is also the knob that makes the parallel
+	// search's speculation-waste metrics (rentmind_wasted_lp_solves_total)
+	// meaningful, since a sequential search never speculates.
+	PerSolveWorkers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// lease (0 = 64). Beyond Workers+QueueDepth outstanding requests the
+	// server answers 429 with a Retry-After hint.
+	QueueDepth int
+	// MaxGraphs, MaxTypes, MaxTasks and MaxTarget are the admission
+	// bounds (0 = 64, 256, 8192, 1_000_000): problems above them are
+	// rejected with 422. MaxTasks counts tasks across all graphs.
+	MaxGraphs, MaxTypes, MaxTasks, MaxTarget int
+	// MaxBatch bounds the problems per /v1/batch request (0 = 64).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (0 = 16 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeLimit is the per-request solve deadline when the client
+	// sends none (0 = 10s); MaxTimeLimit clamps client-requested limits
+	// (0 = 60s).
+	DefaultTimeLimit, MaxTimeLimit time.Duration
+	// RetryAfter is the hint attached to 429 responses (0 = 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.PerSolveWorkers <= 0 {
+		c.PerSolveWorkers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 64
+	}
+	if c.MaxTypes <= 0 {
+		c.MaxTypes = 256
+	}
+	if c.MaxTasks <= 0 {
+		c.MaxTasks = 8192
+	}
+	if c.MaxTarget <= 0 {
+		c.MaxTarget = 1_000_000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.DefaultTimeLimit <= 0 {
+		c.DefaultTimeLimit = 10 * time.Second
+	}
+	if c.MaxTimeLimit <= 0 {
+		c.MaxTimeLimit = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the rentmind HTTP service. Create it with New, serve it as an
+// http.Handler, and shut it down with BeginDrain + Close (see the package
+// documentation for the full sequence).
+type Server struct {
+	cfg  Config
+	pool *rentmin.SolverPool
+	mux  *http.ServeMux
+	met  *metrics
+
+	// slots admits a request into the system (capacity Workers+QueueDepth,
+	// try-acquire → 429); leases let it run on the pool (capacity Workers).
+	// A request between the two is "queued"; drain wakes those waiters so
+	// shutdown fails them fast instead of letting them start late solves.
+	slots     chan struct{}
+	leases    chan struct{}
+	drain     chan struct{}
+	drainOnce sync.Once
+	closeOnce sync.Once
+
+	queued   atomic.Int64
+	inFlight atomic.Int64
+}
+
+// New builds a Server and starts its solver pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		pool:   rentmin.NewSolverPool(cfg.Workers),
+		mux:    http.NewServeMux(),
+		met:    newMetrics(),
+		slots:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		leases: make(chan struct{}, cfg.Workers),
+		drain:  make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Workers returns the solver pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// BeginDrain starts a graceful shutdown: /healthz flips to 503, new and
+// queued requests fail fast with 503, in-flight solves keep running.
+// Safe to call more than once.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// Close releases the solver pool. Call it only after the HTTP server has
+// stopped dispatching requests (http.Server.Shutdown / httptest.Server
+// Close), so no handler still needs the pool. Close implies BeginDrain.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.closeOnce.Do(func() { s.pool.Close() })
+}
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// ServeHTTP implements http.Handler, wrapping the mux with the
+// request-count and latency accounting.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	endpoint := r.URL.Path
+	switch endpoint {
+	case "/v1/solve", "/v1/batch", "/healthz", "/metrics":
+	default:
+		endpoint = "other"
+	}
+	s.met.recordRequest(endpoint, sw.code)
+	if sw.code == http.StatusOK && (endpoint == "/v1/solve" || endpoint == "/v1/batch") {
+		s.met.recordLatency(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// --- request admission and queueing ------------------------------------------
+
+// errDraining reports a lease wait interrupted by shutdown.
+var errDraining = errors.New("server is shutting down")
+
+// acquireSlot admits one request into the bounded system (non-blocking;
+// a full system answers 429 + Retry-After). The slot is held for the
+// request's whole lifetime; leases are acquired separately, per solve.
+func (s *Server) acquireSlot(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, true
+	default:
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("work queue is full (%d in flight + %d queued)", s.cfg.Workers, s.cfg.QueueDepth))
+		return nil, false
+	}
+}
+
+// leaseWait blocks until a worker lease frees, the server drains, or ctx
+// is done. Leases are the server's core capacity invariant: at most
+// Workers solves are ever submitted to the pool concurrently, so a lease
+// holder's pool submission never queues behind another request's fan-out
+// — a solve that holds a lease is genuinely running.
+func (s *Server) leaseWait(ctx context.Context) (release func(), err error) {
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
+	select {
+	case s.leases <- struct{}{}:
+		// The select races a freed lease against drain: when both are
+		// ready it may pick the lease, so re-check drain before letting
+		// a brand-new solve start during shutdown.
+		select {
+		case <-s.drain:
+			<-s.leases
+			return nil, errDraining
+		default:
+		}
+		s.inFlight.Add(1)
+		return func() {
+			<-s.leases
+			s.inFlight.Add(-1)
+		}, nil
+	case <-s.drain:
+		return nil, errDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// acquire is the single-solve path through the queue: slot, then lease.
+// On failure it has already written the response.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	releaseSlot, ok := s.acquireSlot(w)
+	if !ok {
+		return nil, false
+	}
+	releaseLease, err := s.leaseWait(r.Context())
+	if err != nil {
+		releaseSlot()
+		if errors.Is(err, errDraining) {
+			s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		} else {
+			// The client is gone (or its deadline passed) while queued;
+			// the response is best-effort.
+			s.writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		}
+		return nil, false
+	}
+	return func() {
+		releaseLease()
+		releaseSlot()
+	}, true
+}
+
+// solveTimeLimit resolves a client-requested limit against the server
+// default and maximum.
+func (s *Server) solveTimeLimit(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeLimit
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeLimit {
+		d = s.cfg.MaxTimeLimit
+	}
+	return d
+}
+
+// --- handlers ----------------------------------------------------------------
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req client.SolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	p, ok := s.parseProblem(w, req.Problem, "")
+	if !ok {
+		return
+	}
+	if req.Target != nil {
+		p.Target = *req.Target
+		if err := p.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid target override: %v", err))
+			return
+		}
+	}
+	if err := s.admit(p); err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeLimit(req.TimeLimitMs))
+	defer cancel()
+	sol, err := s.pool.SolveContext(ctx, p, &rentmin.SolveOptions{Workers: s.cfg.PerSolveWorkers})
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			// Client disconnect: the search already stopped mid-round;
+			// nobody is reading, but finish the exchange cleanly.
+			s.writeError(w, http.StatusServiceUnavailable, "client went away")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.writeError(w, http.StatusGatewayTimeout,
+				"time limit hit before any feasible allocation was found")
+		default:
+			s.writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.met.recordSolution(sol)
+	s.writeJSON(w, http.StatusOK, toWireSolution(sol))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req client.BatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Problems) == 0 {
+		s.writeError(w, http.StatusBadRequest, "batch has no problems")
+		return
+	}
+	if len(req.Problems) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("batch has %d problems, admission limit is %d", len(req.Problems), s.cfg.MaxBatch))
+		return
+	}
+	problems := make([]*rentmin.Problem, len(req.Problems))
+	for i, raw := range req.Problems {
+		p, ok := s.parseProblem(w, raw, fmt.Sprintf("problem %d: ", i))
+		if !ok {
+			return
+		}
+		if err := s.admit(p); err != nil {
+			s.writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("problem %d: %v", i, err))
+			return
+		}
+		problems[i] = p
+	}
+	releaseSlot, ok := s.acquireSlot(w)
+	if !ok {
+		return
+	}
+	defer releaseSlot()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeLimit(req.TimeLimitMs))
+	defer cancel()
+	results := s.solveAll(ctx, problems)
+	// Solver statistics are recorded before the disconnect check: the
+	// pool did the work whether or not anyone is left to read the answer.
+	resp := client.BatchResponse{Solutions: make([]client.Solution, len(results))}
+	for i, res := range results {
+		if res.err != nil {
+			resp.Solutions[i] = client.Solution{Error: itemError(res.err)}
+			continue
+		}
+		s.met.recordSolution(res.sol)
+		resp.Solutions[i] = toWireSolution(res.sol)
+	}
+	if r.Context().Err() != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "client went away")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+type itemResult struct {
+	sol rentmin.Solution
+	err error
+}
+
+// solveAll fans a batch out over the worker leases: up to Workers
+// dispatcher goroutines claim problems in index order, and each solve
+// takes its own lease before touching the pool — so batch items queue
+// behind (and share capacity fairly with) every other request's solves
+// instead of flooding the pool from behind a single lease. Each item
+// solves with the same PerSolveWorkers inner parallelism as /v1/solve.
+// Lower indexes start first; once ctx is done or the server drains,
+// remaining items fail fast with per-item errors.
+func (s *Server) solveAll(ctx context.Context, problems []*rentmin.Problem) []itemResult {
+	results := make([]itemResult, len(problems))
+	dispatchers := s.cfg.Workers
+	if dispatchers > len(problems) {
+		dispatchers = len(problems)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < dispatchers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(problems) {
+					return
+				}
+				releaseLease, err := s.leaseWait(ctx)
+				if err != nil {
+					results[i].err = err
+					continue // drain the remaining indexes fast
+				}
+				sol, err := s.pool.SolveContext(ctx, problems[i], &rentmin.SolveOptions{Workers: s.cfg.PerSolveWorkers})
+				releaseLease()
+				results[i] = itemResult{sol: sol, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// itemError renders a per-item batch failure.
+func itemError(err error) string {
+	switch {
+	case errors.Is(err, errDraining):
+		return "not solved: server is shutting down"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "not solved: batch deadline exceeded before this problem was solved"
+	case errors.Is(err, context.Canceled):
+		return "not solved: request cancelled"
+	}
+	return err.Error()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := client.Health{
+		Status:     "ok",
+		Workers:    s.cfg.Workers,
+		QueueDepth: int(s.queued.Load()),
+		InFlight:   int(s.inFlight.Load()),
+	}
+	code := http.StatusOK
+	if s.draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writeTo(w, gauges{
+		workers:    s.cfg.Workers,
+		queueCap:   s.cfg.QueueDepth,
+		queueDepth: int(s.queued.Load()),
+		inFlight:   int(s.inFlight.Load()),
+		draining:   s.draining(),
+	})
+}
+
+// --- encoding helpers --------------------------------------------------------
+
+// decodeBody decodes a JSON request envelope, rejecting unknown fields
+// and bodies over the configured size, and answers 400 on any failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return false
+	}
+	return true
+}
+
+// parseProblem runs one problem document through the fuzz-hardened core
+// ingestion (schema, unknown fields, model validation) and answers 400 on
+// failure.
+func (s *Server) parseProblem(w http.ResponseWriter, raw json.RawMessage, prefix string) (*rentmin.Problem, bool) {
+	if len(raw) == 0 {
+		s.writeError(w, http.StatusBadRequest, prefix+"missing problem document")
+		return nil, false
+	}
+	p, err := core.ReadProblem(bytes.NewReader(raw))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, prefix+err.Error())
+		return nil, false
+	}
+	return p, true
+}
+
+func toWireSolution(sol rentmin.Solution) client.Solution {
+	return client.Solution{
+		Allocation:     sol.Alloc,
+		Proven:         sol.Proven,
+		Bound:          sol.Bound,
+		Nodes:          sol.Nodes,
+		LPIterations:   sol.LPIterations,
+		LPSolves:       sol.LPSolves,
+		WastedLPSolves: sol.WastedLPSolves,
+		ElapsedMs:      float64(sol.Elapsed) / float64(time.Millisecond),
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	// Every retryable rejection carries the Retry-After hint the client
+	// package surfaces as APIError.RetryAfter.
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	s.writeJSON(w, code, client.ErrorResponse{Error: msg})
+}

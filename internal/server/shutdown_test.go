@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"rentmin"
+	"rentmin/client"
+)
+
+// TestGracefulShutdownDrains exercises the full drain contract under
+// concurrency (run with -race in CI): in-flight solves finish and return
+// 200, requests still waiting in the queue fail fast with 503 instead of
+// starting late, and new requests are turned away immediately.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 4})
+	ts := httptest.NewServer(s)
+	c := client.New(ts.URL)
+	slow := slowServerProblem(t)
+
+	type outcome struct {
+		name string
+		sol  *client.Solution
+		err  error
+	}
+	results := make(chan outcome, 4)
+	var wg sync.WaitGroup
+	launch := func(name string, p *rentmin.Problem, limit time.Duration) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sol, err := c.Solve(context.Background(), p, &client.Options{TimeLimit: limit})
+			results <- outcome{name, sol, err}
+		}()
+	}
+
+	// One slow solve occupies the single worker; three more wait in the
+	// queue behind it.
+	launch("inflight", slow, 1500*time.Millisecond)
+	waitHealth(t, c, "slow solve in flight", func(h client.Health) bool { return h.InFlight == 1 })
+	launch("queued-1", fastProblem(70), time.Second)
+	launch("queued-2", fastProblem(70), time.Second)
+	launch("queued-3", fastProblem(70), time.Second)
+	waitHealth(t, c, "three requests queued", func(h client.Health) bool { return h.QueueDepth == 3 })
+
+	drainStart := time.Now()
+	s.BeginDrain()
+
+	// New work is rejected immediately.
+	_, err := c.Solve(context.Background(), fastProblem(70), nil)
+	apiErr := apiStatus(t, err)
+	if apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain solve: HTTP %d, want 503", apiErr.StatusCode)
+	}
+	if h, err := c.Health(context.Background()); err != nil || h.Status != "draining" {
+		t.Errorf("health during drain = %+v (%v), want draining", h, err)
+	}
+
+	wg.Wait()
+	close(results)
+	var inflight outcome
+	queuedFailed := 0
+	for r := range results {
+		if r.name == "inflight" {
+			inflight = r
+			continue
+		}
+		// A queued request either lost the race with BeginDrain (ran
+		// before the drain landed) or must have failed fast with 503.
+		if r.err == nil {
+			continue
+		}
+		var ae *client.APIError
+		if !errors.As(r.err, &ae) || ae.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("queued request %s: err %v, want 503", r.name, r.err)
+			continue
+		}
+		queuedFailed++
+	}
+	if inflight.err != nil {
+		t.Errorf("in-flight solve was not drained: %v", inflight.err)
+	} else if inflight.sol.Allocation.GraphThroughput == nil {
+		t.Errorf("in-flight solve returned no allocation: %+v", inflight.sol)
+	}
+	if queuedFailed == 0 {
+		t.Errorf("no queued request failed fast; drain should wake lease waiters with 503")
+	}
+	// Fail-fast means the queued 503s cannot have waited out the slow
+	// solve's whole budget plus the queue: wg.Wait returned promptly
+	// after the in-flight solve finished.
+	if waited := time.Since(drainStart); waited > 10*time.Second {
+		t.Errorf("drain took %v, queued requests did not fail fast", waited)
+	}
+
+	ts.Close()
+	s.Close()
+
+	// Close is idempotent and BeginDrain after Close is harmless.
+	s.BeginDrain()
+	s.Close()
+}
+
+// TestConcurrentMixedLoad hammers every endpoint at once (run with -race
+// in CI) to flush out accounting races between handlers, gauges and the
+// metrics page.
+func TestConcurrentMixedLoad(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				switch (i + k) % 3 {
+				case 0:
+					if _, err := c.Solve(ctx, fastProblem(40+i), nil); err != nil {
+						t.Errorf("solve: %v", err)
+					}
+				case 1:
+					ps := []*rentmin.Problem{fastProblem(20), fastProblem(30 + i)}
+					if _, err := c.SolveBatch(ctx, ps, nil); err != nil {
+						t.Errorf("batch: %v", err)
+					}
+				case 2:
+					if _, err := c.Health(ctx); err != nil {
+						t.Errorf("health: %v", err)
+					}
+					if _, err := c.Metrics(ctx); err != nil {
+						t.Errorf("metrics: %v", err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package solve
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -65,6 +66,10 @@ type ILPResult struct {
 	LPIterations int
 	WarmLPSolves int
 	ColdLPSolves int
+	// WastedLPSolves counts speculative child LP solves discarded because
+	// their parent node was pruned mid-round (parallel search only; see
+	// milp.Result.WastedLPSolves).
+	WastedLPSolves int
 }
 
 // BuildMILP encodes Definition 1 with shared task types as the MIP of
@@ -157,6 +162,15 @@ func allocationToPoint(m *core.CostModel, a core.Allocation) []float64 {
 // ILP solves the general shared-type problem exactly (or best-effort under
 // a time limit) via branch and bound.
 func ILP(m *core.CostModel, target int, opts *ILPOptions) (ILPResult, error) {
+	return ILPContext(context.Background(), m, target, opts)
+}
+
+// ILPContext is ILP under a context: cancellation (or a context deadline)
+// stops the branch-and-bound search mid-round and returns the best
+// incumbent found so far with Proven == false, exactly like a TimeLimit
+// stop. A search cancelled before any incumbent exists reports Status
+// NoSolution with a nil allocation.
+func ILPContext(ctx context.Context, m *core.CostModel, target int, opts *ILPOptions) (ILPResult, error) {
 	if opts == nil {
 		opts = &ILPOptions{}
 	}
@@ -196,21 +210,22 @@ func ILP(m *core.CostModel, target int, opts *ILPOptions) (ILPResult, error) {
 		mopts.Incumbent = allocationToPoint(m, h1)
 	}
 
-	res, err := milp.Solve(prob, mopts)
+	res, err := milp.SolveContext(ctx, prob, mopts)
 	if err != nil {
 		return ILPResult{}, err
 	}
 	out := ILPResult{
-		Status:       res.Status,
-		Bound:        res.Bound,
-		Nodes:        res.Nodes,
-		Cuts:         res.Cuts,
-		Elapsed:      res.Elapsed,
-		Gap:          res.Gap,
-		Proven:       res.Status == milp.Optimal,
-		LPIterations: res.LPIterations,
-		WarmLPSolves: res.WarmLPSolves,
-		ColdLPSolves: res.ColdLPSolves,
+		Status:         res.Status,
+		Bound:          res.Bound,
+		Nodes:          res.Nodes,
+		Cuts:           res.Cuts,
+		Elapsed:        res.Elapsed,
+		Gap:            res.Gap,
+		Proven:         res.Status == milp.Optimal,
+		LPIterations:   res.LPIterations,
+		WarmLPSolves:   res.WarmLPSolves,
+		ColdLPSolves:   res.ColdLPSolves,
+		WastedLPSolves: res.WastedLPSolves,
 	}
 	if res.Status == milp.Optimal || res.Status == milp.Feasible {
 		rho := make([]int, m.J)

@@ -36,9 +36,18 @@
 //	pool := rentmin.NewSolverPool(0)
 //	defer pool.Close()
 //	sols, err := pool.SolveBatch(problems, nil)
+//
+// Every solve entry point has a Context variant (SolveContext,
+// SolveBatchContext): cancelling the context — a client disconnect or a
+// per-request deadline — stops the branch-and-bound search mid-round and
+// returns the best allocation found so far with Proven == false, exactly
+// like a TimeLimit stop. cmd/rentmind serves these entry points over
+// HTTP with admission control and a bounded work queue; see
+// internal/server and the typed client in rentmin/client.
 package rentmin
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -47,6 +56,7 @@ import (
 	"rentmin/internal/core"
 	"rentmin/internal/graphgen"
 	"rentmin/internal/heuristics"
+	"rentmin/internal/milp"
 	"rentmin/internal/pool"
 	"rentmin/internal/rng"
 	"rentmin/internal/solve"
@@ -150,6 +160,13 @@ type Solution struct {
 	// hardware-independent measure of the solver work; dual-simplex warm
 	// starts exist to shrink it).
 	LPIterations int
+	// LPSolves counts node LP relaxations solved (warm plus cold).
+	LPSolves int
+	// WastedLPSolves counts speculative child LP solves the parallel
+	// search discarded because their parent node was pruned mid-round by
+	// a sibling's incumbent. Always zero for Workers == 1; the ratio
+	// WastedLPSolves/LPSolves is the speculation waste of parallelism.
+	WastedLPSolves int
 	// Elapsed is the solver wall-clock time.
 	Elapsed time.Duration
 }
@@ -157,6 +174,16 @@ type Solution struct {
 // Solve computes a minimum-cost allocation for the problem's Target using
 // the integer-programming path (general shared-type case, Section V-C).
 func Solve(p *Problem, opts *SolveOptions) (Solution, error) {
+	return SolveContext(context.Background(), p, opts)
+}
+
+// SolveContext is Solve under a context. Cancelling the context — a
+// client disconnect, or a per-request deadline via context.WithTimeout —
+// stops the branch-and-bound search mid-round and returns the best
+// allocation found so far with Proven == false, exactly like a TimeLimit
+// stop. If the search is cancelled before any feasible allocation exists,
+// the returned error wraps ctx.Err().
+func SolveContext(ctx context.Context, p *Problem, opts *SolveOptions) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -168,20 +195,28 @@ func Solve(p *Problem, opts *SolveOptions) (Solution, error) {
 		iopts.Workers = opts.Workers
 		iopts.DisableLPWarmStart = opts.DisableLPWarmStart
 	}
-	res, err := solve.ILP(m, p.Target, &iopts)
+	res, err := solve.ILPContext(ctx, m, p.Target, &iopts)
 	if err != nil {
 		return Solution{}, err
 	}
 	if res.Alloc.GraphThroughput == nil {
+		// Only a limit-stopped search (NoSolution) is attributable to the
+		// cancellation; a proven Infeasible must be reported as such — no
+		// retry with a longer deadline can ever succeed there.
+		if cerr := ctx.Err(); cerr != nil && res.Status == milp.NoSolution {
+			return Solution{}, fmt.Errorf("rentmin: solve cancelled before any feasible allocation was found: %w", cerr)
+		}
 		return Solution{}, fmt.Errorf("rentmin: no feasible allocation found (status %v)", res.Status)
 	}
 	return Solution{
-		Alloc:        res.Alloc,
-		Proven:       res.Proven,
-		Bound:        res.Bound,
-		Nodes:        res.Nodes,
-		LPIterations: res.LPIterations,
-		Elapsed:      res.Elapsed,
+		Alloc:          res.Alloc,
+		Proven:         res.Proven,
+		Bound:          res.Bound,
+		Nodes:          res.Nodes,
+		LPIterations:   res.LPIterations,
+		LPSolves:       res.WarmLPSolves + res.ColdLPSolves,
+		WastedLPSolves: res.WastedLPSolves,
+		Elapsed:        res.Elapsed,
 	}, nil
 }
 
@@ -211,36 +246,84 @@ func (p *SolverPool) Workers() int { return p.pool.Workers() }
 // Close stops the pool's workers. The pool must not be used afterwards.
 func (p *SolverPool) Close() { p.pool.Close() }
 
+// SolveContext solves one problem on the pool: it waits for a free
+// worker — abandoning the wait when ctx is done — and then runs
+// SolveContext(ctx, prob, opts) on it. Unlike the batch methods, opts is
+// passed through unchanged, so opts.Workers sets the inner
+// branch-and-bound parallelism of this solve (beware: zero means
+// GOMAXPROCS, which oversubscribes a pool that is busy with other
+// problems; services that care about aggregate throughput should pass
+// Workers: 1).
+func (p *SolverPool) SolveContext(ctx context.Context, prob *Problem, opts *SolveOptions) (Solution, error) {
+	var sol Solution
+	err := p.pool.RunContext(ctx, 1, func(int) error {
+		var err error
+		sol, err = SolveContext(ctx, prob, opts)
+		return err
+	})
+	return sol, err
+}
+
 // SolveBatch solves every problem at its own Target on the pool and
 // returns the solutions in input order. Each individual solve runs the
 // sequential branch-and-bound (cross-problem parallelism already
 // saturates the pool); TimeLimit applies per problem. On failure the
 // error of the lowest-index failing problem is returned.
 func (p *SolverPool) SolveBatch(problems []*Problem, opts *SolveOptions) ([]Solution, error) {
-	each := SolveOptions{Workers: 1}
-	if opts != nil {
-		each.TimeLimit = opts.TimeLimit
-		each.DisableLPWarmStart = opts.DisableLPWarmStart
-	}
-	out := make([]Solution, len(problems))
-	err := p.pool.Run(len(problems), func(i int) error {
-		sol, err := Solve(problems[i], &each)
-		if err != nil {
-			return fmt.Errorf("rentmin: batch problem %d: %w", i, err)
-		}
-		out[i] = sol
-		return nil
-	})
+	out, err := p.SolveBatchContext(context.Background(), problems, opts)
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// SolveBatchContext is SolveBatch under a context. Cancellation stops the
+// whole fan-out promptly instead of letting it finish: problems not yet
+// handed to a worker are never started, and in-flight solves stop
+// mid-search, keeping their best-so-far allocation (Proven == false).
+// Unlike SolveBatch it returns partial results on error: the solutions
+// slice always has one entry per problem, and entries that never produced
+// an allocation are zero-valued (Alloc.GraphThroughput == nil). The error
+// is the lowest-index solve failure (which wraps ctx.Err() for a solve
+// cancelled before any feasible point existed), or ctx.Err() when
+// cancellation left problems unstarted. A cancellation that lands after
+// every problem was started and merely stopped in-flight searches early
+// is NOT an error — exactly like a per-problem TimeLimit, every entry
+// then holds its best-so-far allocation and callers must inspect
+// Solution.Proven to distinguish proven optima from truncated searches.
+func (p *SolverPool) SolveBatchContext(ctx context.Context, problems []*Problem, opts *SolveOptions) ([]Solution, error) {
+	each := SolveOptions{Workers: 1}
+	if opts != nil {
+		each.TimeLimit = opts.TimeLimit
+		each.DisableLPWarmStart = opts.DisableLPWarmStart
+	}
+	out := make([]Solution, len(problems))
+	err := p.pool.RunContext(ctx, len(problems), func(i int) error {
+		sol, err := SolveContext(ctx, problems[i], &each)
+		if err != nil {
+			return fmt.Errorf("rentmin: batch problem %d: %w", i, err)
+		}
+		out[i] = sol
+		return nil
+	})
+	return out, err
+}
+
 // SolveBatch solves many problems concurrently on a transient pool of
 // opts.Workers workers (0 = GOMAXPROCS) and returns the solutions in
 // input order. For repeated batches, keep a SolverPool instead.
 func SolveBatch(problems []*Problem, opts *SolveOptions) ([]Solution, error) {
+	out, err := SolveBatchContext(context.Background(), problems, opts)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SolveBatchContext is SolveBatch under a context; see
+// SolverPool.SolveBatchContext for the cancellation and partial-result
+// semantics.
+func SolveBatchContext(ctx context.Context, problems []*Problem, opts *SolveOptions) ([]Solution, error) {
 	workers := 0
 	if opts != nil {
 		workers = opts.Workers
@@ -256,7 +339,7 @@ func SolveBatch(problems []*Problem, opts *SolveOptions) ([]Solution, error) {
 	}
 	pool := NewSolverPool(workers)
 	defer pool.Close()
-	return pool.SolveBatch(problems, opts)
+	return pool.SolveBatchContext(ctx, problems, opts)
 }
 
 // SolveBlackBox solves the Section V-A special case (each recipe is a
