@@ -7,6 +7,7 @@
 package rentmin_test
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"rentmin/internal/experiments"
 	"rentmin/internal/graphgen"
 	"rentmin/internal/heuristics"
+	"rentmin/internal/lp"
 	"rentmin/internal/rng"
 	"rentmin/internal/solve"
 	"rentmin/internal/stream"
@@ -120,12 +122,18 @@ func fig3Instance(b *testing.B) *core.CostModel {
 }
 
 // benchILPVariant measures one solver variant under a fixed budget and
-// reports the fraction of proven-optimal solves; weak variants (e.g.
-// without strong branching) exhaust the budget instead of proving.
+// reports the fraction of proven-optimal solves; a variant that cannot
+// prove within the budget pins ns/op to the budget with proven/op 0.
+// The budget is sized so every variant still proves on this instance and
+// the ablation shows up as wall-clock spread: most-fractional branching
+// (NoStrongBranch) needs ~7.5s here — its tree roughly doubled when
+// branching switched from bound rows to bound patches, the one
+// configuration that got slower while every strong-branching path got
+// 2-5x faster.
 func benchILPVariant(b *testing.B, opts solve.ILPOptions) {
 	b.Helper()
 	m := fig3Instance(b)
-	opts.TimeLimit = 5 * time.Second
+	opts.TimeLimit = 10 * time.Second
 	proven := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -345,6 +353,155 @@ func BenchmarkILPWarmStart(b *testing.B) { benchILPFig8(b, false) }
 // (every node pays a full two-phase solve) — the ratio against
 // BenchmarkILPWarmStart is the tentpole speedup.
 func BenchmarkILPColdStart(b *testing.B) { benchILPFig8(b, true) }
+
+// --- Bounded-variable vs row-bound child LPs ---------------------------------
+
+// BenchmarkILPBoundedVsRowBounds isolates the bounded-variable tentpole:
+// replay one deterministic branching dive on the Fig. 8-scale root LP —
+// cap the most fractional variable at its floor, re-optimize from the
+// parent basis, repeat — with the accumulated branching bounds expressed
+// two ways. "bounded" patches the variables' [lo, hi] (the scheme the
+// solver uses: the tableau stays m×n for the whole dive and the dual
+// simplex starts immediately); "rowbounds" appends or patches explicit
+// x_j <= floor rows (the pre-refactor scheme: the tableau grows one row
+// per branched variable and every restore must re-establish the bound-row
+// slacks). Same subproblem sequence, same optimal costs; the
+// simplex-iters/op spread is the price of keeping bounds in the tableau.
+// CI gates the metric via BENCH_baseline.json.
+func BenchmarkILPBoundedVsRowBounds(b *testing.B) {
+	m := fig8Instance(b)
+	prob := solve.BuildMILP(m, 120)
+	base := &prob.LP
+	root, err := lp.Solve(base, nil)
+	if err != nil || root.Status != lp.Optimal || root.Basis == nil {
+		b.Fatalf("root LP not warm-startable: %v (status %v)", err, root.Status)
+	}
+
+	// Precompute the dive (outside the timed region, in bounded mode):
+	// branch on the most fractional variable of each relaxation, flooring
+	// it when the down child is feasible and ceiling it otherwise — the
+	// path a depth-first branch-and-bound dive would take.
+	type step struct {
+		j  int
+		up bool // false: x_j <= floor; true: x_j >= ceil
+		v  float64
+	}
+	var steps []step
+	boundedProb := func(upto int) *lp.Problem {
+		q := &lp.Problem{Objective: base.Objective, Constraints: base.Constraints}
+		for _, st := range steps[:upto] {
+			lo, hi := q.LowerBound(st.j), q.UpperBound(st.j)
+			if st.up {
+				lo = math.Max(lo, st.v)
+			} else {
+				hi = math.Min(hi, st.v)
+			}
+			q.SetBounds(st.j, lo, hi)
+		}
+		return q
+	}
+	cur := root
+	const maxDepth = 40
+	for len(steps) < maxDepth {
+		bestJ, bestF := -1, 1e-6
+		for j, v := range cur.X {
+			f := v - math.Floor(v)
+			if f > 0.5 {
+				f = 1 - f
+			}
+			if f > bestF {
+				bestJ, bestF = j, f
+			}
+		}
+		if bestJ < 0 {
+			break // integral relaxation: the dive bottomed out
+		}
+		advanced := false
+		for _, up := range []bool{false, true} {
+			v := math.Floor(cur.X[bestJ])
+			if up {
+				v = math.Ceil(cur.X[bestJ])
+			}
+			steps = append(steps, step{bestJ, up, v})
+			q := boundedProb(len(steps))
+			if q.LowerBound(bestJ) > q.UpperBound(bestJ) {
+				steps = steps[:len(steps)-1]
+				continue
+			}
+			sol, err := lp.SolveFrom(q, cur.Basis, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.Status != lp.Optimal || sol.Basis == nil {
+				steps = steps[:len(steps)-1]
+				continue
+			}
+			cur, advanced = sol, true
+			break
+		}
+		if !advanced {
+			break // both children infeasible: the dive bottomed out
+		}
+	}
+	if len(steps) < 4 {
+		b.Fatalf("dive too shallow (%d steps) to be representative", len(steps))
+	}
+
+	// rowProb expresses the same first `upto` steps as bound rows,
+	// appending the first row per (variable, sense) and patching repeats —
+	// exactly the pre-refactor child derivation.
+	rowProb := func(upto int) *lp.Problem {
+		cons := append([]lp.Constraint(nil), base.Constraints...)
+		type key struct {
+			j  int
+			up bool
+		}
+		rowOf := make(map[key]int)
+		for _, st := range steps[:upto] {
+			k := key{st.j, st.up}
+			if i, ok := rowOf[k]; ok {
+				if (st.up && st.v > cons[i].RHS) || (!st.up && st.v < cons[i].RHS) {
+					cons[i].RHS = st.v
+				}
+				continue
+			}
+			row := make([]float64, base.NumVars())
+			row[st.j] = 1
+			rel := lp.LE
+			if st.up {
+				rel = lp.GE
+			}
+			rowOf[k] = len(cons)
+			cons = append(cons, lp.Constraint{Coeffs: row, Rel: rel, RHS: st.v})
+		}
+		return &lp.Problem{Objective: base.Objective, Constraints: cons}
+	}
+
+	run := func(b *testing.B, probAt func(upto int) *lp.Problem) {
+		b.Helper()
+		iters := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			parent := root
+			for d := 1; d <= len(steps); d++ {
+				sol, err := lp.SolveFrom(probAt(d), parent.Basis, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Status != lp.Optimal || sol.Basis == nil {
+					b.Fatalf("depth %d: status %v", d, sol.Status)
+				}
+				iters += sol.Iterations
+				parent = sol
+			}
+		}
+		b.ReportMetric(float64(iters)/float64(b.N), "simplex-iters/op")
+		b.ReportMetric(float64(len(steps)), "dive-depth")
+	}
+
+	b.Run("bounded", func(b *testing.B) { run(b, boundedProb) })
+	b.Run("rowbounds", func(b *testing.B) { run(b, rowProb) })
+}
 
 // --- Component micro-benchmarks ----------------------------------------------
 

@@ -1,16 +1,19 @@
-// Package lp implements a dense two-phase simplex solver for linear
-// programs in the form
+// Package lp implements a dense bounded-variable two-phase simplex solver
+// for linear programs in the form
 //
 //	minimize    c·x
 //	subject to  A_i·x {<=,>=,=} b_i   for every constraint i
-//	            x >= 0
+//	            lo_j <= x_j <= hi_j   for every variable j
 //
-// It is the linear-programming substrate under the branch-and-bound MILP
-// solver (package milp), which together replace the commercial ILP solver
-// (Gurobi) used by the paper. The implementation favours robustness at the
-// modest sizes of the paper's instances: dense tableau storage, Dantzig
-// pricing with an automatic switch to Bland's rule for anti-cycling, and a
-// phase-1 artificial-variable start.
+// with the classic non-negative orthant (lo = 0, hi = +inf) as the
+// default when no bounds are given. It is the linear-programming
+// substrate under the branch-and-bound MILP solver (package milp), which
+// together replace the commercial ILP solver (Gurobi) used by the paper.
+// The implementation favours robustness at the modest sizes of the
+// paper's instances: dense tableau storage, Dantzig pricing with an
+// automatic switch to Bland's rule for anti-cycling, and a phase-1
+// artificial-variable start. See the repository's ARCHITECTURE.md for
+// where this package sits in the stack.
 //
 // # Solver internals
 //
@@ -21,35 +24,76 @@
 // memory outside its own tableau. Phase 1 minimizes the artificial sum,
 // evicts leftover basic artificials (marking linearly dependent rows
 // redundant), and phase 2 re-prices the true objective with artificials
-// forbidden from re-entering. Entering columns use Dantzig pricing until
-// a stall window expires, then Bland's rule; leaving rows use the
-// minimum-ratio test with a lexicographic (smallest basis index)
-// tie-break. All degeneracy decisions — ratio ties, phase-1 feasibility,
-// artificial eviction, warm-start verification — share one loosened
-// tolerance (degenTol, the square root of the pricing tolerance), so the
-// solver cannot judge the same quantity "zero" in one place and "nonzero"
-// in another.
+// forbidden from re-entering.
+//
+// # Bounds in the ratio test, not the tableau
+//
+// Variable bounds never become constraint rows. The tableau works in
+// shifted coordinates y_j = x_j - lo_j, so every variable has lower
+// bound 0 and capacity cap_j = hi_j - lo_j, and a nonbasic variable
+// resting at its upper bound is complemented: its column and reduced
+// cost are negated and the basic values absorb cap_j, so the
+// complemented variable again counts up from zero. Every nonbasic
+// variable therefore sits at 0, and the pivot kernel is the classic one;
+// bounds surface in exactly three places:
+//
+//   - the primal ratio test is two-sided: a basic variable blocks the
+//     entering step either by falling to 0 (basic-leaves-at-lo) or by
+//     climbing to its finite capacity (basic-leaves-at-hi, handled by
+//     complementing the row and pivoting normally);
+//   - the entering variable's own capacity competes with both: when
+//     cap_j is the smallest ratio the iteration is a bound flip — an
+//     O(m) column complement with no pivot at all;
+//   - the dual ratio test treats a basic value above its capacity
+//     exactly like one below zero, by complementing the row first.
+//
+// Entering columns use Dantzig pricing until a stall window expires,
+// then Bland's rule; leaving rows use the minimum-ratio test with a
+// lexicographic (smallest basis index) tie-break. All degeneracy
+// decisions — ratio ties, phase-1 feasibility, artificial eviction,
+// warm-start verification — share one loosened tolerance (degenTol, the
+// square root of the pricing tolerance), so the solver cannot judge the
+// same quantity "zero" in one place and "nonzero" in another.
+//
+// # Warm starts
 //
 // SolveFrom adds the dual-simplex re-optimization path that the
-// branch-and-bound solver leans on. An optimal Solve records its basis as
-// Solution.Basis, encoded shape-stably (structural column index, or "the
-// slack/surplus of row i") so it survives appending rows. SolveFrom
-// restores that basis into a fresh tableau of the perturbed problem with
-// one Gaussian-elimination pivot per changed basis column, then runs dual
-// simplex: while some right-hand side is negative, the most negative row
-// leaves and the dual ratio test picks the entering column, repairing
-// primal feasibility while preserving the dual feasibility inherited from
-// the parent optimum. A short primal polish cleans roundoff, and the
-// result is verified (primal and dual feasibility) before being reported.
-// Any rejection along the way — mismatched or singular basis, lost dual
-// feasibility, iteration cap — falls back transparently to the cold
-// two-phase Solve, so SolveFrom is never less robust than Solve, only
-// usually much cheaper: a branch-and-bound child differs from its parent
-// by one tightened bound, which typically costs a handful of dual pivots
-// against a full phase-1/phase-2 re-solve.
+// branch-and-bound solver leans on. An optimal Solve records its basis
+// as Solution.Basis, encoded shape-stably (structural column index, or
+// "the slack/surplus of row i") together with the set of complemented
+// columns — the snapshot names a vertex, and without the complement set
+// the restore would land on a different one. SolveFrom restores that
+// basis into a fresh tableau of the perturbed problem — re-applying the
+// complements, then one Gaussian-elimination pivot per changed basis
+// column — and runs dual simplex: while some basic value is outside its
+// bounds, the most violated row leaves (complemented first if it sits
+// above its capacity) and the dual ratio test picks the entering column,
+// repairing primal feasibility while preserving the dual feasibility
+// inherited from the parent optimum.
+//
+// This is why branch-and-bound children stay dual feasible: reduced
+// costs depend on the basis and the cost vector, never on b, lo or hi.
+// A child that tightens one variable bound keeps the parent's reduced
+// costs unchanged — only the restored point can fall outside the new
+// bounds, and that is precisely the violation the dual simplex repairs.
+// Because the bound is not a row, the child tableau has the same m×n
+// shape as the parent's and the restore needs no extra pivots for it.
+//
+// A short primal polish cleans roundoff, and the result is verified
+// (bounds and dual feasibility) before being reported. The fallback
+// ladder: any rejection along the way — nil, mismatched or singular
+// basis, a complemented column whose upper bound disappeared, lost dual
+// feasibility, an iteration cap, or a failed final verification — falls
+// back transparently to the cold two-phase Solve, with the rejected
+// attempt's pivots still counted in Solution.Iterations so warm-vs-cold
+// comparisons stay honest. SolveFrom is therefore never less robust than
+// Solve, only usually much cheaper: a branch-and-bound child typically
+// costs a handful of dual pivots against a full phase-1/phase-2
+// re-solve.
 //
 // SolveGomory layers fractional cutting planes on top of Solve for pure
-// integer programs with integral data; the milp package applies it at the
-// root of the branch-and-bound tree and shares the generated cuts with
+// integer programs with integral data and default bounds; the milp
+// package applies it at the root of the branch-and-bound tree (where
+// bounds are still the defaults) and shares the generated cuts with
 // every node.
 package lp

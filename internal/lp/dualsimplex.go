@@ -8,25 +8,33 @@ import (
 // Warm-started re-optimization.
 //
 // A branch-and-bound child differs from its parent LP by one tightened
-// variable bound: either the right-hand side of an existing bound row
-// moved, or one new bound row was appended. Both leave the parent's
-// optimal basis dual feasible (reduced costs do not depend on b), so the
-// cheapest way to solve the child is to restore the parent basis into the
-// child tableau and run dual-simplex pivots until primal feasibility is
-// repaired — no phase-1 artificials, and typically only a handful of
-// pivots instead of a full two-phase solve.
+// variable bound. Bounds live in the ratio tests, not in the tableau, so
+// the child has the same m×n tableau as the parent and the parent's
+// optimal basis stays dual feasible (reduced costs do not depend on b, lo
+// or hi). The cheapest way to solve the child is therefore to restore the
+// parent basis into the child tableau and run dual-simplex pivots until
+// primal feasibility is repaired — no phase-1 artificials, no appended
+// rows, and typically only a handful of pivots instead of a full
+// two-phase solve.
 
 // Basis is a compact snapshot of a simplex basis, taken from an optimal
 // solve (Solution.Basis) and restorable onto a related problem via
 // SolveFrom. The encoding is shape-stable: each entry names the basic
 // column either as a structural variable index or as "the slack/surplus
 // column of constraint row i", so it survives appending rows (which
-// shifts raw auxiliary column indices).
+// shifts raw auxiliary column indices). The snapshot also records which
+// structural columns were complemented (resting at, or measured from,
+// their upper bound) — without that set the restored point would be a
+// different vertex than the one the basis was optimal at.
 type Basis struct {
 	// rows[i] encodes the column basic in snapshot row i: v >= 0 is the
 	// structural variable v; v < 0 is the auxiliary (slack/surplus) column
 	// of constraint row ^v.
 	rows []int32
+	// flips lists the complemented structural columns in increasing
+	// order. Only structural columns appear: slack and artificial columns
+	// have no finite upper bound and can never be complemented.
+	flips []int32
 	// n is the structural variable count of the snapshot's problem.
 	n int
 }
@@ -63,13 +71,21 @@ func (t *tableau) snapshotBasis() *Basis {
 			return nil // artificial basic
 		}
 	}
-	return &Basis{rows: rows, n: t.n}
+	var flips []int32
+	for j := 0; j < t.n; j++ {
+		if t.flipped[j] {
+			flips = append(flips, int32(j))
+		}
+	}
+	return &Basis{rows: rows, flips: flips, n: t.n}
 }
 
 // SolveFrom re-optimizes p starting from a basis snapshotted on a related
-// problem: same structural variables, and constraint rows that extend the
+// problem: same structural variables, constraint rows that extend the
 // snapshot's rows (identical prefix, new rows appended, right-hand sides
-// free to move). It restores the basis into a fresh tableau, repairs
+// free to move), and variable bounds free to move — the branch-and-bound
+// child shape of one tightened bound included. It restores the basis
+// (and the snapshot's complemented columns) into a fresh tableau, repairs
 // primal feasibility with dual-simplex pivots and polishes with primal
 // pivots. Whenever the warm start is rejected — nil or mismatched basis,
 // a singular restore, lost dual feasibility, or an iteration limit — it
@@ -122,27 +138,21 @@ func (t *tableau) solveFrom(p *Problem, b *Basis) (Solution, bool) {
 	if st := t.iterate(forbid); st != Optimal {
 		return Solution{}, false
 	}
-	// Trust but verify before reporting optimality through the warm path.
-	for i := 0; i < t.m; i++ {
-		if !t.redundant[i] && t.rhs[i] < -dt {
-			return Solution{}, false
-		}
+	// Trust but verify before reporting optimality through the warm path:
+	// every basic value inside its bounds, every reduced cost
+	// non-negative.
+	if !t.withinBounds(dt) {
+		return Solution{}, false
 	}
 	for j := 0; j < t.artStart; j++ {
 		if t.obj[j] < -dt {
 			return Solution{}, false
 		}
 	}
-	x := make([]float64, t.n)
-	for i := 0; i < t.m; i++ {
-		if bc := t.basis[i]; bc < t.n {
-			x[bc] = t.rhs[i]
-		}
-	}
 	return Solution{
 		Status:     Optimal,
-		X:          x,
-		Objective:  t.objVal,
+		X:          t.extractX(),
+		Objective:  t.objVal + t.objBase,
 		Iterations: t.pivots,
 		Duals:      t.duals(),
 		Basis:      t.snapshotBasis(),
@@ -150,12 +160,35 @@ func (t *tableau) solveFrom(p *Problem, b *Basis) (Solution, bool) {
 	}, true
 }
 
-// restoreBasis pivots the fresh tableau to the snapshot basis: snapshot
-// rows take their recorded basic column, appended rows keep their own
-// slack/surplus. Each restore pivot is one Gaussian elimination step with
-// partial (largest-entry) row selection, so the restore succeeds exactly
-// when the requested basis matrix is numerically nonsingular.
+// restoreBasis pivots the fresh tableau to the snapshot basis: the
+// snapshot's complemented columns are complemented first (so the restored
+// point measures them from their upper bound, exactly as the snapshot
+// did), then snapshot rows take their recorded basic column and appended
+// rows keep their own slack/surplus. Each restore pivot is one Gaussian
+// elimination step with partial (largest-entry) row selection, so the
+// restore succeeds exactly when the requested basis matrix is numerically
+// nonsingular.
 func (t *tableau) restoreBasis(b *Basis) bool {
+	// Re-apply the snapshot's complemented columns. A column whose upper
+	// bound the new problem removed cannot be complemented — reject and
+	// let the cold solve handle it (branching only tightens bounds, so
+	// this is a defensive path, not a hot one).
+	for _, enc := range b.flips {
+		col := int(enc)
+		if col < 0 || col >= t.n || math.IsInf(t.cap[col], 1) {
+			return false
+		}
+		u := t.cap[col]
+		for i := 0; i < t.m; i++ {
+			row := t.a[i]
+			if v := row[col]; v != 0 {
+				t.rhs[i] -= v * u
+				row[col] = -v
+			}
+		}
+		t.flipped[col] = true
+	}
+
 	inBasis := make([]bool, t.total)
 	targets := make([]int, 0, t.m)
 	add := func(col int) bool {
@@ -181,9 +214,9 @@ func (t *tableau) restoreBasis(b *Basis) bool {
 			return false
 		}
 	}
-	// Rows appended after the snapshot (new bound rows) enter with their
-	// own auxiliary basic; an appended equality row has only an
-	// artificial, which cannot be warm started.
+	// Rows appended after the snapshot enter with their own auxiliary
+	// basic; an appended equality row has only an artificial, which
+	// cannot be warm started.
 	for i := len(b.rows); i < t.m; i++ {
 		if !add(t.rowAux[i]) {
 			return false
@@ -230,26 +263,19 @@ func (t *tableau) restoreBasis(b *Basis) bool {
 
 // repairPrimal is the feasibility net behind every Optimal claim of the
 // primal path: degenerate-tie pivots (and the small-negative RHS clamp)
-// can leave a right-hand side slightly negative, which primal pricing
-// alone never notices. The terminal basis is dual feasible, so a few
-// dual-simplex pivots restore primal feasibility exactly; primal pivots
-// then re-polish. The alternation converges immediately in practice; a
-// tableau that refuses to settle is reported as IterLimit — never as a
-// feasible optimum with a violated row, and never as Infeasible (phase 1
-// already proved feasibility).
+// can leave a basic value slightly outside its bounds, which primal
+// pricing alone never notices. The terminal basis is dual feasible, so a
+// few dual-simplex pivots restore primal feasibility exactly; primal
+// pivots then re-polish. The alternation converges immediately in
+// practice; a tableau that refuses to settle is reported as IterLimit —
+// never as a feasible optimum with a violated row or bound, and never as
+// Infeasible (phase 1 already proved feasibility).
 func (t *tableau) repairPrimal(st Status, forbid func(col int) bool) Status {
 	if st != Optimal {
 		return st
 	}
 	for round := 0; round < 4; round++ {
-		ok := true
-		for i := 0; i < t.m; i++ {
-			if !t.redundant[i] && t.rhs[i] < -t.tol {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if t.withinBounds(t.tol) {
 			return Optimal
 		}
 		if ds := t.dualIterate(forbid); ds != Optimal {
@@ -264,25 +290,41 @@ func (t *tableau) repairPrimal(st Status, forbid func(col int) bool) Status {
 
 // dualIterate runs dual-simplex pivots on a dual-feasible tableau until
 // primal feasibility (Optimal), a proof that no feasible point exists
-// (Infeasible), or the pivot cap (IterLimit). The leaving row is the most
-// negative right-hand side; the entering column minimizes the dual ratio
-// reduced-cost / |entry|, keeping the smallest column index on near-ties
-// (deterministic, and Bland-like against degenerate cycling).
+// (Infeasible), or the pivot cap (IterLimit). The leaving row is the one
+// whose basic variable violates its bounds the most — below 0, or above
+// its finite capacity; an above-capacity row is complemented first
+// (bounds in the ratio test, not the tableau), which reduces it to the
+// classic below-zero case. The entering column then minimizes the dual
+// ratio reduced-cost / |entry| over negative entries, keeping the
+// smallest column index on near-ties (deterministic, and Bland-like
+// against degenerate cycling).
 func (t *tableau) dualIterate(forbid func(col int) bool) Status {
 	dt := t.degenTol()
 	for t.pivots < t.maxIter {
 		row := -1
-		worst := -t.tol
+		worst := t.tol
+		above := false
 		for i := 0; i < t.m; i++ {
 			if t.redundant[i] {
 				continue
 			}
-			if t.rhs[i] < worst {
-				worst, row = t.rhs[i], i
+			switch {
+			case -t.rhs[i] > worst:
+				worst, row, above = -t.rhs[i], i, false
+			default:
+				if cb := t.cap[t.basis[i]]; t.rhs[i]-cb > worst {
+					worst, row, above = t.rhs[i]-cb, i, true
+				}
 			}
 		}
 		if row < 0 {
 			return Optimal
+		}
+		if above {
+			// The basic variable crossed its upper bound: complement it so
+			// it reads as a below-zero violation and the standard dual
+			// ratio test applies.
+			t.complementRow(row)
 		}
 		arow := t.a[row]
 		col := -1
@@ -300,8 +342,9 @@ func (t *tableau) dualIterate(forbid func(col int) bool) Status {
 			}
 		}
 		if col < 0 {
-			// The row reads Σ a_ij·x_j = rhs < 0 with every usable
-			// coefficient >= 0: no non-negative point satisfies it.
+			// The row reads x_B + Σ a_ij·x_j = rhs < 0 with every usable
+			// coefficient >= 0 and every nonbasic variable at 0 with room
+			// only to increase: no point within the bounds satisfies it.
 			return Infeasible
 		}
 		t.pivot(row, col)

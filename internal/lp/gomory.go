@@ -47,8 +47,16 @@ type GomoryResult struct {
 //
 // Validity requires that the problem is a pure integer program with
 // integral constraint data; the caller is responsible for that contract.
+// Cut generation additionally requires the default variable bounds
+// [0, +inf): the tableau-row derivation assumes every nonbasic variable
+// sits at zero, which a finite upper bound (complemented column) or a
+// shifted lower bound breaks. A problem with non-default bounds is solved
+// normally but no cuts are generated.
 func SolveGomory(p *Problem, opts *Options, maxRounds int) (GomoryResult, error) {
 	work := p.Clone()
+	if !work.DefaultBounds() {
+		maxRounds = 0
+	}
 	res := GomoryResult{}
 	const (
 		minImprove   = 1e-7

@@ -36,19 +36,80 @@ type Constraint struct {
 	RHS    float64
 }
 
-// Problem is a linear program over n non-negative variables.
+// Problem is a linear program over n bounded variables. Variables default
+// to the classic non-negative orthant lo = 0, hi = +inf; per-variable
+// bounds replace that default when Lo/Hi are set.
 type Problem struct {
 	// Objective holds the cost vector c; the solver minimizes c·x.
 	Objective []float64
 	// Constraints holds the rows. Every row's Coeffs must have the same
 	// length as Objective.
 	Constraints []Constraint
+	// Lo and Hi are optional per-variable bounds lo_j <= x_j <= hi_j.
+	// Either slice may be nil (every variable takes the default for that
+	// side: lo 0, hi +inf) or have exactly NumVars entries. Lower bounds
+	// must be finite (they may be negative); upper bounds may be +inf.
+	// A variable with Lo[j] == Hi[j] is fixed. Bounds are handled inside
+	// the simplex ratio tests, not as constraint rows, so tightening a
+	// bound never grows the tableau (see SetBounds and the package doc).
+	Lo, Hi []float64
 }
 
 // NumVars returns the number of structural variables.
 func (p *Problem) NumVars() int { return len(p.Objective) }
 
-// Validate checks dimensional consistency and finiteness.
+// LowerBound returns the effective lower bound of variable j (0 when Lo
+// is unset).
+func (p *Problem) LowerBound(j int) float64 {
+	if p.Lo == nil {
+		return 0
+	}
+	return p.Lo[j]
+}
+
+// UpperBound returns the effective upper bound of variable j (+inf when
+// Hi is unset).
+func (p *Problem) UpperBound(j int) float64 {
+	if p.Hi == nil {
+		return math.Inf(1)
+	}
+	return p.Hi[j]
+}
+
+// SetBounds installs lo <= x_j <= hi, materializing the Lo/Hi slices from
+// the defaults on first use. It does not validate lo <= hi; Validate (and
+// therefore Solve) rejects crossed bounds.
+func (p *Problem) SetBounds(j int, lo, hi float64) {
+	n := p.NumVars()
+	if p.Lo == nil {
+		p.Lo = make([]float64, n)
+	}
+	if p.Hi == nil {
+		p.Hi = make([]float64, n)
+		for k := range p.Hi {
+			p.Hi[k] = math.Inf(1)
+		}
+	}
+	p.Lo[j], p.Hi[j] = lo, hi
+}
+
+// DefaultBounds reports whether every variable has the default bounds
+// lo = 0, hi = +inf (vacuously true when Lo and Hi are nil).
+func (p *Problem) DefaultBounds() bool {
+	for _, v := range p.Lo {
+		if v != 0 {
+			return false
+		}
+	}
+	for _, v := range p.Hi {
+		if !math.IsInf(v, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks dimensional consistency, finiteness and bound order.
 func (p *Problem) Validate() error {
 	n := p.NumVars()
 	if n == 0 {
@@ -57,6 +118,24 @@ func (p *Problem) Validate() error {
 	for _, v := range p.Objective {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return errors.New("lp: non-finite objective coefficient")
+		}
+	}
+	if p.Lo != nil && len(p.Lo) != n {
+		return fmt.Errorf("lp: %d lower bounds for %d variables", len(p.Lo), n)
+	}
+	if p.Hi != nil && len(p.Hi) != n {
+		return fmt.Errorf("lp: %d upper bounds for %d variables", len(p.Hi), n)
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := p.LowerBound(j), p.UpperBound(j)
+		if math.IsNaN(lo) || math.IsInf(lo, 0) {
+			return fmt.Errorf("lp: variable %d has non-finite lower bound %g", j, lo)
+		}
+		if math.IsNaN(hi) || math.IsInf(hi, -1) {
+			return fmt.Errorf("lp: variable %d has invalid upper bound %g", j, hi)
+		}
+		if lo > hi {
+			return fmt.Errorf("lp: variable %d has crossed bounds [%g, %g]", j, lo, hi)
 		}
 	}
 	for i, c := range p.Constraints {
@@ -78,6 +157,12 @@ func (p *Problem) Validate() error {
 // Clone returns a deep copy of the problem.
 func (p *Problem) Clone() *Problem {
 	q := &Problem{Objective: append([]float64(nil), p.Objective...)}
+	if p.Lo != nil {
+		q.Lo = append([]float64(nil), p.Lo...)
+	}
+	if p.Hi != nil {
+		q.Hi = append([]float64(nil), p.Hi...)
+	}
 	q.Constraints = make([]Constraint, len(p.Constraints))
 	for i, c := range p.Constraints {
 		q.Constraints[i] = Constraint{
@@ -128,9 +213,11 @@ type Solution struct {
 	// Duals holds one multiplier per constraint (valid when Status ==
 	// Optimal): the shadow price of the constraint's right-hand side.
 	// With the minimization convention used here, duals of binding GE
-	// rows are >= 0, duals of binding LE rows are <= 0, equality rows are
-	// unrestricted, and at optimality b·Duals == Objective (strong
-	// duality). Rows proven redundant report 0.
+	// rows are >= 0, duals of binding LE rows are <= 0, and equality rows
+	// are unrestricted. For default-bound problems b·Duals == Objective
+	// at optimality (strong duality); with finite variable bounds the
+	// bound multipliers (the reduced costs of variables resting at a
+	// bound) contribute the remainder. Rows proven redundant report 0.
 	Duals []float64
 	// Basis is a snapshot of the optimal basis, restorable on a related
 	// problem via SolveFrom. It is nil when the status is not Optimal or

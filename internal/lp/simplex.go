@@ -2,9 +2,22 @@ package lp
 
 import "math"
 
-// tableau is a dense simplex tableau. Columns are ordered: structural
-// variables [0,n), slack/surplus variables [n, n+numSlack), artificial
-// variables [n+numSlack, total). The right-hand side is stored separately.
+// tableau is a dense bounded-variable simplex tableau. Columns are
+// ordered: structural variables [0,n), slack/surplus variables
+// [n, n+numSlack), artificial variables [n+numSlack, total). The
+// right-hand side is stored separately and holds the *value* of each
+// row's basic variable.
+//
+// Variable bounds never appear as rows. The tableau works in shifted
+// coordinates y_j = x_j - lo_j (so every variable has lower bound 0 and
+// capacity cap_j = hi_j - lo_j), and a nonbasic variable resting at its
+// upper bound is complemented: its column and reduced cost are negated
+// and the basic values absorb cap_j, so the complemented variable again
+// counts up from zero. With that representation every nonbasic variable
+// sits at 0, entering variables always increase, leaving variables always
+// leave at 0 — the pivot kernel is the classic one, and bounds surface
+// only in the ratio tests (chooseLeaving, dualIterate) and in the bound
+// flips (flipBound, complementRow).
 type tableau struct {
 	m, n      int // constraint rows, structural variables
 	total     int // all columns
@@ -13,28 +26,56 @@ type tableau struct {
 	rhs       []float64
 	basis     []int // basis[i] = column basic in row i
 	obj       []float64
-	objVal    float64 // objective value of the current basis (for the current cost row)
+	objVal    float64 // objective value of the current basis (for the current cost row, shifted coordinates)
+	objBase   float64 // c·lo, added back when reporting Solution.Objective
 	tol       float64
 	maxIter   int
 	pivots    int
 	inPhase1  bool
-	redundant []bool // rows proven redundant in phase 1 (skipped afterwards)
-	rowAux    []int  // per row: its slack/surplus/artificial column
-	rowAuxNeg []bool // per row: aux column has coefficient -1 (surplus)
-	rowFlip   []bool // per row: normalization multiplied the row by -1
+	redundant []bool    // rows proven redundant in phase 1 (skipped afterwards)
+	rowAux    []int     // per row: its slack/surplus/artificial column
+	rowAuxNeg []bool    // per row: aux column has coefficient -1 (surplus)
+	rowFlip   []bool    // per row: normalization multiplied the row by -1
+	shift     []float64 // per structural column: the variable's lower bound (nil when all zero)
+	cap       []float64 // per column: upper bound minus lower bound (+inf when unbounded above)
+	flipped   []bool    // per column: complemented (counts down from its upper bound)
 }
 
 // newTableau builds the initial tableau with slack and artificial columns
-// and a feasible starting basis for phase 1.
+// and a feasible starting basis for phase 1: every structural variable at
+// its lower bound, slacks basic on LE rows, artificials basic elsewhere.
 func newTableau(p *Problem, opts *Options) *tableau {
 	m := len(p.Constraints)
 	n := p.NumVars()
 
-	// Count auxiliary columns. Rows are first normalized to RHS >= 0.
+	// Shift structural variables to their lower bounds. adjRHS[i] is row
+	// i's right-hand side in shifted coordinates, computed once and used
+	// by both passes below; rows are then normalized to adjRHS >= 0.
+	var shift []float64
+	objBase := 0.0
+	if p.Lo != nil {
+		shift = p.Lo
+		for j, lo := range shift {
+			objBase += p.Objective[j] * lo
+		}
+	}
+	adjRHS := make([]float64, m)
+	for i := range p.Constraints {
+		c := &p.Constraints[i]
+		rhs := c.RHS
+		for j, lo := range shift {
+			if lo != 0 {
+				rhs -= c.Coeffs[j] * lo
+			}
+		}
+		adjRHS[i] = rhs
+	}
+
+	// Count auxiliary columns.
 	numSlack, numArt := 0, 0
-	for _, c := range p.Constraints {
-		rel, rhsNeg := c.Rel, c.RHS < 0
-		if rhsNeg {
+	for i := range p.Constraints {
+		rel := p.Constraints[i].Rel
+		if adjRHS[i] < 0 {
 			rel = flip(rel)
 		}
 		switch rel {
@@ -56,11 +97,27 @@ func newTableau(p *Problem, opts *Options) *tableau {
 		maxIter:   opts.maxIter(m, n),
 		basis:     make([]int, m),
 		obj:       make([]float64, n+numSlack+numArt), // zero objective until setObjective (pivots may run first during a basis restore)
+		objBase:   objBase,
 		rhs:       make([]float64, m),
 		redundant: make([]bool, m),
 		rowAux:    make([]int, m),
 		rowAuxNeg: make([]bool, m),
 		rowFlip:   make([]bool, m),
+		shift:     shift,
+		cap:       make([]float64, n+numSlack+numArt),
+		flipped:   make([]bool, n+numSlack+numArt),
+	}
+	for j := range t.cap {
+		t.cap[j] = math.Inf(1)
+	}
+	if p.Hi != nil {
+		for j, hi := range p.Hi {
+			lo := 0.0
+			if shift != nil {
+				lo = shift[j]
+			}
+			t.cap[j] = hi - lo
+		}
 	}
 	// All rows live in one backing arena: a single allocation per tableau
 	// keeps the pivot loops cache-friendly and makes every solve's mutable
@@ -69,11 +126,12 @@ func newTableau(p *Problem, opts *Options) *tableau {
 	t.a = make([][]float64, m)
 	slackCol := n
 	artCol := t.artStart
-	for i, c := range p.Constraints {
+	for i := range p.Constraints {
+		c := &p.Constraints[i]
 		row := backing[i*t.total : (i+1)*t.total : (i+1)*t.total]
 		sign := 1.0
 		rel := c.Rel
-		rhs := c.RHS
+		rhs := adjRHS[i]
 		if rhs < 0 {
 			sign = -1.0
 			rel = flip(rel)
@@ -121,11 +179,20 @@ func flip(r Relation) Relation {
 
 // setObjective installs the cost vector (shorter slices are zero-padded)
 // and prices out the current basis so reduced costs are consistent. The
-// objective row allocated by newTableau is reused across phases.
+// cost coefficient of a complemented column is negated (the variable
+// counts down from its upper bound) and its constant contribution
+// cost·cap folds into objVal. The objective row allocated by newTableau
+// is reused across phases.
 func (t *tableau) setObjective(cost []float64) {
 	clear(t.obj)
 	copy(t.obj, cost)
 	t.objVal = 0
+	for j := 0; j < t.total; j++ {
+		if t.flipped[j] && t.obj[j] != 0 {
+			t.objVal += t.obj[j] * t.cap[j]
+			t.obj[j] = -t.obj[j]
+		}
+	}
 	for i := 0; i < t.m; i++ {
 		cb := t.obj[t.basis[i]]
 		if cb == 0 {
@@ -139,7 +206,11 @@ func (t *tableau) setObjective(cost []float64) {
 	}
 }
 
-// pivot performs a basis exchange at (row, col).
+// pivot performs a basis exchange at (row, col). The entering variable is
+// always at value 0 (lower bound in complemented coordinates) and the
+// leaving variable always leaves at 0 — complementRow has already
+// rewritten a row whose basic leaves at its upper bound — so the classic
+// update applies verbatim to the value-semantics rhs.
 func (t *tableau) pivot(row, col int) {
 	prow := t.a[row]
 	pval := prow[col]
@@ -179,9 +250,54 @@ func (t *tableau) pivot(row, col int) {
 	t.pivots++
 }
 
-// iterate runs primal simplex pivots on the current objective until
-// optimality, unboundedness, or the iteration cap. forbid reports columns
-// that may not enter the basis (artificials during phase 2).
+// flipBound moves the nonbasic column col from its current bound to the
+// opposite one — the third outcome of the bounded ratio test, when the
+// entering variable hits its own bound before any basic row blocks it.
+// No pivot happens: the basic values absorb the full step cap_col, the
+// column and its reduced cost negate (complement representation), and the
+// objective improves by rc·cap. O(m) instead of a pivot's O(m·n); counts
+// as one iteration.
+func (t *tableau) flipBound(col int) {
+	u := t.cap[col]
+	for i := 0; i < t.m; i++ {
+		row := t.a[i]
+		if v := row[col]; v != 0 {
+			t.rhs[i] -= v * u
+			row[col] = -v
+			if t.rhs[i] < 0 && t.rhs[i] > -t.tol {
+				t.rhs[i] = 0
+			}
+		}
+	}
+	t.objVal += t.obj[col] * u
+	t.obj[col] = -t.obj[col]
+	t.flipped[col] = !t.flipped[col]
+	t.pivots++
+}
+
+// complementRow rewrites row r around the upper bound of its basic
+// variable: in complemented coordinates the variable leaves at 0, so the
+// standard pivot applies afterwards. Only row r changes (a basic column
+// is zero elsewhere and its reduced cost is already zero).
+func (t *tableau) complementRow(r int) {
+	b := t.basis[r]
+	row := t.a[r]
+	for j := range row {
+		if j != b && row[j] != 0 {
+			row[j] = -row[j]
+		}
+	}
+	t.rhs[r] = t.cap[b] - t.rhs[r]
+	if t.rhs[r] < 0 && t.rhs[r] > -t.tol {
+		t.rhs[r] = 0
+	}
+	t.flipped[b] = !t.flipped[b]
+}
+
+// iterate runs primal simplex iterations (pivots and bound flips) on the
+// current objective until optimality, unboundedness, or the iteration
+// cap. forbid reports columns that may not enter the basis (artificials
+// during phase 2).
 func (t *tableau) iterate(forbid func(col int) bool) Status {
 	// Switch to Bland's rule after a grace period without objective
 	// progress, to break degenerate cycles.
@@ -194,11 +310,19 @@ func (t *tableau) iterate(forbid func(col int) bool) Status {
 		if col < 0 {
 			return Optimal
 		}
-		row := t.chooseLeaving(col)
-		if row < 0 {
+		row, toUpper, ratio := t.chooseLeaving(col)
+		switch {
+		case !math.IsInf(t.cap[col], 1) && (row < 0 || t.cap[col] <= ratio):
+			// The entering variable hits its own opposite bound first.
+			t.flipBound(col)
+		case row < 0:
 			return Unbounded
+		default:
+			if toUpper {
+				t.complementRow(row)
+			}
+			t.pivot(row, col)
 		}
-		t.pivot(row, col)
 		if t.objVal < lastObj-t.tol {
 			lastObj = t.objVal
 			stall = 0
@@ -210,7 +334,10 @@ func (t *tableau) iterate(forbid func(col int) bool) Status {
 }
 
 // chooseEntering picks the entering column: most negative reduced cost
-// (Dantzig) or first negative (Bland).
+// (Dantzig) or first negative (Bland). In the complement representation
+// every nonbasic variable sits at 0 and can only increase, so the
+// classic single-sided test covers at-upper variables too (their reduced
+// costs are stored negated).
 func (t *tableau) chooseEntering(forbid func(int) bool, bland bool) int {
 	best := -1
 	bestVal := -t.tol
@@ -229,8 +356,15 @@ func (t *tableau) chooseEntering(forbid func(int) bool, bland bool) int {
 	return best
 }
 
-// chooseLeaving runs the minimum-ratio test on the entering column,
-// breaking ties toward the smallest basis variable index (lexicographic
+// chooseLeaving runs the two-sided bounded ratio test on the entering
+// column. A basic variable blocks the step either by falling to 0
+// (positive column entry) or by climbing to its finite capacity
+// (negative entry); the smaller ratio wins, and the caller separately
+// compares against the entering variable's own capacity (bound flip).
+// Returns the blocking row, whether its basic leaves at the upper bound,
+// and the winning ratio (+inf when no row blocks).
+//
+// Ties break toward the smallest basis variable index (lexicographic
 // safeguard that pairs with Bland's rule). Tie detection uses the shared
 // degeneracy tolerance, but only in the degenerate regime (both ratios
 // within degenTol of zero): that is where cycling lives, and where
@@ -238,9 +372,11 @@ func (t *tableau) chooseEntering(forbid func(int) bool, bland bool) int {
 // pivot for the lexicographic ordering to bite. Away from zero the
 // window stays at the base tolerance — treating genuinely different
 // ratios as ties would pivot past the true minimum and push another
-// row's right-hand side negative beyond the feasibility guarantee.
-func (t *tableau) chooseLeaving(col int) int {
+// row's right-hand side out of its bounds beyond the feasibility
+// guarantee.
+func (t *tableau) chooseLeaving(col int) (int, bool, float64) {
 	bestRow := -1
+	bestUpper := false
 	bestRatio := math.Inf(1)
 	dt := t.degenTol()
 	for i := 0; i < t.m; i++ {
@@ -248,28 +384,88 @@ func (t *tableau) chooseLeaving(col int) int {
 			continue
 		}
 		aij := t.a[i][col]
-		if aij <= t.tol {
+		var ratio float64
+		var upper bool
+		switch {
+		case aij > t.tol:
+			ratio = t.rhs[i] / aij
+			if ratio < 0 {
+				ratio = 0 // roundoff-negative rhs: degenerate, not a negative step
+			}
+		case aij < -t.tol:
+			cb := t.cap[t.basis[i]]
+			if math.IsInf(cb, 1) {
+				continue // unbounded above: never blocks from below
+			}
+			room := cb - t.rhs[i]
+			if room < 0 {
+				room = 0
+			}
+			ratio, upper = room/(-aij), true
+		default:
 			continue
 		}
-		ratio := t.rhs[i] / aij
 		win := t.tol
 		if ratio < dt && bestRatio < dt {
 			win = dt
 		}
 		switch {
 		case ratio < bestRatio-win:
-			bestRow, bestRatio = i, ratio
+			bestRow, bestUpper, bestRatio = i, upper, ratio
 		case ratio < bestRatio+win && (bestRow < 0 || t.basis[i] < t.basis[bestRow]):
 			// Tied within the window: take the lexicographically smaller
 			// row but keep the true minimum ratio as the reference, so
 			// chained ties cannot drift the window upward.
-			bestRow = i
+			bestRow, bestUpper = i, upper
 			if ratio < bestRatio {
 				bestRatio = ratio
 			}
 		}
 	}
-	return bestRow
+	return bestRow, bestUpper, bestRatio
+}
+
+// extractX recovers the structural solution in original coordinates:
+// un-complement flipped columns, then undo the lower-bound shift.
+func (t *tableau) extractX() []float64 {
+	x := make([]float64, t.n)
+	for j := 0; j < t.n; j++ {
+		if t.flipped[j] {
+			x[j] = t.cap[j]
+		}
+	}
+	for i := 0; i < t.m; i++ {
+		if b := t.basis[i]; b < t.n {
+			if t.flipped[b] {
+				x[b] = t.cap[b] - t.rhs[i]
+			} else {
+				x[b] = t.rhs[i]
+			}
+		}
+	}
+	if t.shift != nil {
+		for j, lo := range t.shift {
+			x[j] += lo
+		}
+	}
+	return x
+}
+
+// withinBounds reports whether every non-redundant basic value lies in
+// [0, cap] up to slack.
+func (t *tableau) withinBounds(slack float64) bool {
+	for i := 0; i < t.m; i++ {
+		if t.redundant[i] {
+			continue
+		}
+		if t.rhs[i] < -slack {
+			return false
+		}
+		if cb := t.cap[t.basis[i]]; t.rhs[i] > cb+slack {
+			return false
+		}
+	}
+	return true
 }
 
 // solve runs phase 1 (if artificials exist) then phase 2.
@@ -299,13 +495,7 @@ func (t *tableau) solve(p *Problem) (Solution, error) {
 	st := t.repairPrimal(t.iterate(forbid), forbid)
 	switch st {
 	case Optimal:
-		x := make([]float64, t.n)
-		for i := 0; i < t.m; i++ {
-			if b := t.basis[i]; b < t.n {
-				x[b] = t.rhs[i]
-			}
-		}
-		return Solution{Status: Optimal, X: x, Objective: t.objVal, Iterations: t.pivots, Duals: t.duals(), Basis: t.snapshotBasis()}, nil
+		return Solution{Status: Optimal, X: t.extractX(), Objective: t.objVal + t.objBase, Iterations: t.pivots, Duals: t.duals(), Basis: t.snapshotBasis()}, nil
 	case Unbounded:
 		return Solution{Status: Unbounded, Iterations: t.pivots}, nil
 	default:
@@ -316,7 +506,10 @@ func (t *tableau) solve(p *Problem) (Solution, error) {
 // duals recovers one multiplier per original constraint from the final
 // reduced-cost row: the reduced cost of a row's auxiliary column equals
 // -+y_i for a +-1 coefficient, and a flipped (negative-RHS) row negates
-// the multiplier back into the original row's terms.
+// the multiplier back into the original row's terms. Slack columns are
+// never complemented (their capacity is infinite), so the recovery is
+// unaffected by variable bounds; bound duals live in the reduced costs
+// of the structural columns instead.
 func (t *tableau) duals() []float64 {
 	y := make([]float64, t.m)
 	for i := 0; i < t.m; i++ {

@@ -14,12 +14,14 @@
 //     124 and is cut;
 //   - wall-clock time limit with best-found reporting, reproducing the
 //     paper's "ILP hits its 100 s budget" experiment (Fig. 8);
-//   - dual-simplex LP warm starts: a child's LP is its parent's with one
-//     bound row patched or appended (build-once + patch-bound, never a
-//     rebuild), and it re-optimizes from the parent's optimal basis via
-//     lp.SolveFrom — most of the per-node simplex work disappears on deep
-//     trees, with a transparent cold-solve fallback whenever a restore is
-//     rejected (see Options.DisableWarmLP to switch the path off);
+//   - dual-simplex LP warm starts over bound patches: a child's LP is its
+//     parent's with one variable bound tightened (lp.Problem.Lo/Hi — the
+//     bound lives in the simplex ratio test, never as a constraint row, so
+//     the tableau stays m×n for the whole tree), and it re-optimizes from
+//     the parent's optimal basis via lp.SolveFrom — most of the per-node
+//     simplex work disappears on deep trees, with a transparent cold-solve
+//     fallback whenever a restore is rejected (see Options.DisableWarmLP
+//     to switch the path off);
 //   - parallel search: the best-bound frontier is expanded in rounds of
 //     up to Options.Workers nodes, and every child LP relaxation of the
 //     round — including all strong-branching candidates — solves
@@ -194,31 +196,17 @@ type Result struct {
 }
 
 // node is one branch-and-bound subproblem, defined by variable bounds.
-// Each node carries its materialized LP (base rows plus bound rows in
-// branching order) and, through relax.Basis, the optimal basis its
-// children re-optimize from with dual-simplex warm starts.
+// Its LP shares the base problem's objective and constraint rows and
+// carries the node's accumulated bound patches in prob.Lo/Hi — the
+// tableau shape is m×n at every node of the tree. relax.Basis is the
+// optimal basis its children re-optimize from with dual-simplex warm
+// starts; a bound tightening never disturbs dual feasibility, so the
+// parent basis is always a valid warm start for a child.
 type node struct {
-	bounds map[int]varBound
-	// boundRows lists the bound rows appended after the base constraints,
-	// in the order they were introduced along the path from the root. A
-	// child's LP is its parent's LP with exactly one of these rows patched
-	// (same variable and sense tightened again) or appended (first bound
-	// of that variable and sense) — never rebuilt from scratch.
-	boundRows []boundRow
-	prob      *lp.Problem // base problem plus this node's bound rows
-	relax     lp.Solution
-	bound     float64
-	seq       int
-}
-
-// boundRow identifies one bound row: x_j <= hi (upper) or x_j >= lo.
-type boundRow struct {
-	j     int
-	upper bool
-}
-
-type varBound struct {
-	lo, hi float64 // hi == +inf means unbounded above
+	prob  *lp.Problem // base objective/rows plus this node's bound patches
+	relax lp.Solution
+	bound float64
+	seq   int
 }
 
 type nodeHeap []*node
@@ -320,7 +308,7 @@ func (s *solver) run() (Result, error) {
 		return s.limitResult(math.Inf(-1)), nil
 	}
 
-	root := &node{bounds: map[int]varBound{}, prob: s.base}
+	root := &node{prob: s.base}
 	var st lp.Status
 	var err error
 	if s.opts != nil && s.opts.RootCutRounds > 0 {
@@ -404,36 +392,23 @@ func (s *solver) run() (Result, error) {
 }
 
 // buildChild creates and solves one child of n with the extra bound
-// lo <= x_j <= hi merged in. The child's LP is derived from the parent's
-// by patching or appending the single changed bound row (never rebuilt),
-// and its relaxation is re-optimized from the parent's basis via the
-// dual-simplex warm start. It returns nil when the child is empty,
-// infeasible, or numerically unsolvable (all prunable).
+// lo <= x_j <= hi merged in. The child's LP is the parent's with the one
+// variable bound tightened in place (objective and constraint rows are
+// shared; only the bound slices are copied), and its relaxation is
+// re-optimized from the parent's basis via the dual-simplex warm start.
+// It returns nil when the child is empty, infeasible, or numerically
+// unsolvable (all prunable).
 func (s *solver) buildChild(n *node, j int, lo, hi float64) *node {
-	c := &node{bounds: make(map[int]varBound, len(n.bounds)+1)}
-	for k, b := range n.bounds {
-		c.bounds[k] = b
+	if pl := n.prob.LowerBound(j); pl > lo {
+		lo = pl
 	}
-	b, ok := c.bounds[j]
-	if !ok {
-		b = varBound{lo: 0, hi: math.Inf(1)}
+	if ph := n.prob.UpperBound(j); ph < hi {
+		hi = ph
 	}
-	if lo > b.lo {
-		b.lo = lo
-	}
-	if hi < b.hi {
-		b.hi = hi
-	}
-	if b.lo > b.hi {
+	if lo > hi {
 		return nil
 	}
-	c.bounds[j] = b
-	upper := !math.IsInf(hi, 1)
-	rhs := b.lo
-	if upper {
-		rhs = b.hi
-	}
-	s.patchBound(n, c, j, upper, rhs)
+	c := &node{prob: patchedBound(n.prob, j, lo, hi)}
 	st, err := s.solveRelax(c, n.relax.Basis)
 	if err != nil || st != lp.Optimal {
 		return nil
@@ -441,40 +416,40 @@ func (s *solver) buildChild(n *node, j int, lo, hi float64) *node {
 	return c
 }
 
-// patchBound derives the child's LP from the parent's: the (j, upper)
-// bound row is patched in place when the parent already has one, or
-// appended as a new trailing row otherwise. Only slice headers and the
-// touched Constraint struct are copied — all coefficient rows are shared,
-// immutable, with the parent — so the appended-row case keeps the exact
-// prefix shape the lp.Basis encoding needs for a warm restore.
-func (s *solver) patchBound(parent, c *node, j int, upper bool, rhs float64) {
-	pc := parent.prob.Constraints
-	idx := -1
-	for k, br := range parent.boundRows {
-		if br.j == j && br.upper == upper {
-			idx = len(s.base.Constraints) + k
-			break
+// patchedBound derives a child LP from its parent: the objective and the
+// constraint rows are shared (immutable across the whole tree — the
+// tableau never grows), and only the bound slice that actually changes
+// is copied with entry j replaced; the untouched side stays shared with
+// the parent (a down branch copies Hi only, so a tree that never raises
+// a lower bound keeps Lo nil and the simplex skips the shift path
+// entirely). Copying one n-sized slice is the entire per-node problem
+// derivation; the bound ordering that the old bound-row scheme had to
+// sort for determinism is gone, because bounds are positional.
+func patchedBound(p *lp.Problem, j int, lo, hi float64) *lp.Problem {
+	q := &lp.Problem{
+		Objective:   p.Objective,
+		Constraints: p.Constraints,
+		Lo:          p.Lo,
+		Hi:          p.Hi,
+	}
+	n := p.NumVars()
+	if lo != p.LowerBound(j) {
+		q.Lo = make([]float64, n)
+		copy(q.Lo, p.Lo) // zero-filled when the parent has no explicit lows
+		q.Lo[j] = lo
+	}
+	if hi != p.UpperBound(j) {
+		q.Hi = make([]float64, n)
+		if p.Hi != nil {
+			copy(q.Hi, p.Hi)
+		} else {
+			for k := range q.Hi {
+				q.Hi[k] = math.Inf(1)
+			}
 		}
+		q.Hi[j] = hi
 	}
-	if idx >= 0 {
-		cons := make([]lp.Constraint, len(pc))
-		copy(cons, pc)
-		cons[idx].RHS = rhs
-		c.prob = &lp.Problem{Objective: s.base.Objective, Constraints: cons}
-		c.boundRows = parent.boundRows // unchanged; shared and never mutated
-		return
-	}
-	cons := make([]lp.Constraint, len(pc), len(pc)+1)
-	copy(cons, pc)
-	row := make([]float64, s.base.NumVars())
-	row[j] = 1
-	rel := lp.GE
-	if upper {
-		rel = lp.LE
-	}
-	cons = append(cons, lp.Constraint{Coeffs: row, Rel: rel, RHS: rhs})
-	c.prob = &lp.Problem{Objective: s.base.Objective, Constraints: cons}
-	c.boundRows = append(append([]boundRow(nil), parent.boundRows...), boundRow{j: j, upper: upper})
+	return q
 }
 
 func (s *solver) strongBranchLimit() int {
@@ -642,8 +617,11 @@ func (s *solver) checkFeasible(x []float64) (float64, error) {
 		return 0, fmt.Errorf("candidate has %d variables, want %d", len(x), s.p.LP.NumVars())
 	}
 	for j, isInt := range s.p.Integer {
-		if x[j] < -s.tol {
-			return 0, fmt.Errorf("variable %d negative: %g", j, x[j])
+		if lo := s.p.LP.LowerBound(j); x[j] < lo-s.tol {
+			return 0, fmt.Errorf("variable %d below its lower bound: %g < %g", j, x[j], lo)
+		}
+		if hi := s.p.LP.UpperBound(j); x[j] > hi+s.tol {
+			return 0, fmt.Errorf("variable %d above its upper bound: %g > %g", j, x[j], hi)
 		}
 		if isInt {
 			if d := math.Abs(x[j] - math.Round(x[j])); d > s.tol {

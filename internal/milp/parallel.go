@@ -27,9 +27,9 @@
 //
 // Warm starts keep these properties: a child LP solve is a pure function
 // of (parent node, branch variable, direction) — the parent's problem,
-// bound rows and optimal basis are all frozen once the parent is solved
-// and only read afterwards, and every lp.SolveFrom builds its own tableau
-// arena, so workers share no mutable simplex state. A given child
+// bound patches and optimal basis are all frozen once the parent is
+// solved and only read afterwards, and every lp.SolveFrom builds its own
+// tableau arena, so workers share no mutable simplex state. A given child
 // therefore gets the same relaxation (same pivots, same vertex) whether
 // it is solved eagerly on a pool worker or lazily on the sequential path.
 //

@@ -3,6 +3,12 @@
 // cmd/rentmind. It turns the library's exact solver into an online
 // endpoint serving many concurrent clients over one rentmin.SolverPool.
 //
+// The operator-facing reference — every /metrics series with its
+// semantics, the admission limits and their flags, and the 422/429/
+// Retry-After contract — lives in docs/metrics.md at the repository
+// root; the layer map is in ARCHITECTURE.md. This doc describes the
+// request lifecycle the code implements.
+//
 // # Endpoints
 //
 //	POST /v1/solve  one problem  -> client.Solution

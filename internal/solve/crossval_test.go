@@ -14,6 +14,7 @@ package solve
 //     the target throughput.
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -21,6 +22,8 @@ import (
 	"rentmin/internal/core"
 	"rentmin/internal/graphgen"
 	"rentmin/internal/heuristics"
+	"rentmin/internal/lp"
+	"rentmin/internal/milp"
 	"rentmin/internal/rng"
 	"rentmin/internal/stream"
 )
@@ -76,6 +79,71 @@ func TestCrossValILPMatchesBruteForce(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCrossValBoundedVsRowBoundEncodings cross-validates the two ways of
+// expressing variable bounds through the whole branch-and-bound stack:
+// the paper MILP is boxed with valid upper bounds (ρ_j <= target, machine
+// counts below a coverage ceiling) encoded once natively in lp.Problem
+// Lo/Hi — the scheme branching itself uses, bounds in the ratio test —
+// and once as explicit constraint rows. Both must report the brute-force
+// optimal cost for workers {1, 2, 8}, warm- and cold-started node LPs
+// alike.
+func TestCrossValBoundedVsRowBoundEncodings(t *testing.T) {
+	for _, seed := range []int64{5, 19, 83} {
+		r := rand.New(rand.NewSource(seed))
+		p, target := smallGeneratedProblem(r)
+		m := core.NewCostModel(p)
+		want := float64(BruteForce(m, target).Cost)
+
+		base := BuildMILP(m, target)
+		nv := base.LP.NumVars()
+		// Valid box: some optimal solution keeps every graph throughput at
+		// or below the target, and machine counts below the all-graphs
+		// worst-case coverage ceiling.
+		box := make([]float64, nv)
+		for j := 0; j < m.J; j++ {
+			box[j] = float64(target)
+		}
+		for q := 0; q < m.Q; q++ {
+			maxN := 0
+			for j := 0; j < m.J; j++ {
+				if m.N[j][q] > maxN {
+					maxN = m.N[j][q]
+				}
+			}
+			box[m.J+q] = math.Ceil(float64(m.J*target*maxN)/float64(m.R[q])) + 1
+		}
+
+		bounded := &milp.Problem{LP: *base.LP.Clone(), Integer: base.Integer}
+		bounded.LP.Hi = box
+
+		rows := &milp.Problem{LP: *base.LP.Clone(), Integer: base.Integer}
+		for j, hi := range box {
+			row := make([]float64, nv)
+			row[j] = 1
+			rows.LP.Constraints = append(rows.LP.Constraints, lp.Constraint{Coeffs: row, Rel: lp.LE, RHS: hi})
+		}
+
+		for _, w := range []int{1, 2, 8} {
+			for _, coldLP := range []bool{false, true} {
+				opts := &milp.Options{Workers: w, DisableWarmLP: coldLP, IntegralObjective: true}
+				for name, prob := range map[string]*milp.Problem{"bounded": bounded, "rows": rows} {
+					res, err := milp.Solve(prob, opts)
+					if err != nil {
+						t.Fatalf("seed %d workers %d cold %v %s: %v", seed, w, coldLP, name, err)
+					}
+					if res.Status != milp.Optimal {
+						t.Fatalf("seed %d workers %d cold %v %s: status %v", seed, w, coldLP, name, res.Status)
+					}
+					if math.Abs(res.Objective-want) > 1e-6 {
+						t.Errorf("seed %d workers %d cold %v %s: cost %g, brute force %g",
+							seed, w, coldLP, name, res.Objective, want)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -44,6 +44,10 @@
 // like a TimeLimit stop. cmd/rentmind serves these entry points over
 // HTTP with admission control and a bounded work queue; see
 // internal/server and the typed client in rentmin/client.
+//
+// The repository-level tour lives in README.md; ARCHITECTURE.md maps the
+// layers underneath this facade (core → lp → milp → solve → rentmin →
+// server/client) and the invariants each one enforces.
 package rentmin
 
 import (
