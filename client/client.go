@@ -31,6 +31,9 @@ type Options struct {
 	// Target, when > 0, overrides the problem's target throughput
 	// (Solve only; batch problems keep their own targets).
 	Target int
+	// DisableLPWarmStart forces cold LP solves inside branch and bound
+	// (Solve only; see SolveRequest.DisableLPWarmStart).
+	DisableLPWarmStart bool
 }
 
 // APIError is a non-2xx response from the daemon.
@@ -99,6 +102,7 @@ func (c *Client) Solve(ctx context.Context, p *rentmin.Problem, opts *Options) (
 	req := SolveRequest{Problem: raw}
 	if opts != nil {
 		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
+		req.DisableLPWarmStart = opts.DisableLPWarmStart
 		if opts.Target > 0 {
 			t := opts.Target
 			req.Target = &t
@@ -152,6 +156,23 @@ func (c *Client) Health(ctx context.Context) (Health, error) {
 		return h, fmt.Errorf("rentmind: decode health: %w", err)
 	}
 	return h, nil
+}
+
+// Capacity calls GET /v1/capacity: the daemon's static sizing, used by
+// a coordinator to discover this worker's in-flight cap.
+func (c *Client) Capacity(ctx context.Context) (Capacity, error) {
+	var cap Capacity
+	body, status, err := c.do(ctx, http.MethodGet, "/v1/capacity", nil)
+	if err != nil {
+		return cap, err
+	}
+	if status != http.StatusOK {
+		return cap, apiError(status, body, nil)
+	}
+	if err := json.Unmarshal(body, &cap); err != nil {
+		return cap, fmt.Errorf("rentmind: decode capacity: %w", err)
+	}
+	return cap, nil
 }
 
 // Metrics returns the raw Prometheus-style text of GET /metrics.

@@ -1,0 +1,150 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	a, b := NewBackoff(42), NewBackoff(42)
+	for attempt := 1; attempt <= 6; attempt++ {
+		if da, db := a.Delay(attempt), b.Delay(attempt); da != db {
+			t.Fatalf("attempt %d: same seed produced %v and %v", attempt, da, db)
+		}
+	}
+	c := NewBackoff(7)
+	diff := false
+	for attempt := 1; attempt <= 6; attempt++ {
+		if NewBackoff(42).Delay(attempt) != c.Delay(attempt) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Errorf("different seeds produced identical jitter schedules")
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: time.Second, Jitter: -1} // jitter off
+	want := []time.Duration{100, 200, 400, 800, 1000, 1000}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterStaysInBand(t *testing.T) {
+	b := NewBackoff(99) // defaults: base 100ms, ±20%
+	for i := 0; i < 50; i++ {
+		d := b.Delay(1)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("Delay(1) = %v, want within ±20%% of 100ms", d)
+		}
+	}
+}
+
+// temperamental answers 429 (with a Retry-After hint) a fixed number of
+// times before serving.
+func temperamental(rejections int) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(rejections) {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"work queue is full"}`))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`ok`))
+	}))
+	return srv, &calls
+}
+
+func TestRetryHonorsTemporary(t *testing.T) {
+	srv, calls := temperamental(2)
+	defer srv.Close()
+	c := New(srv.URL)
+	b := &Backoff{Base: time.Millisecond, Jitter: -1}
+	err := Retry(context.Background(), b, 3, func() error {
+		_, err := c.Metrics(context.Background())
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("made %d calls, want 3 (two 429s then success)", calls.Load())
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	srv, calls := temperamental(100)
+	defer srv.Close()
+	c := New(srv.URL)
+	b := &Backoff{Base: time.Millisecond, Jitter: -1}
+	err := Retry(context.Background(), b, 3, func() error {
+		_, err := c.Metrics(context.Background())
+		return err
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want the final 429", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("made %d calls, want exactly 3", calls.Load())
+	}
+}
+
+func TestRetryDoesNotRetryPermanentRejections(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_, _ = w.Write([]byte(`{"error":"too big"}`))
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	err := Retry(context.Background(), NewBackoff(0), 5, func() error {
+		_, err := c.Metrics(context.Background())
+		return err
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v, want the 422", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("made %d calls for a permanent rejection, want 1", calls.Load())
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	srv, calls := temperamental(100)
+	defer srv.Close()
+	c := New(srv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	b := &Backoff{Base: time.Hour, Jitter: -1} // would wait forever without the cancel
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Retry(ctx, b, 3, func() error {
+		_, err := c.Metrics(ctx)
+		return err
+	})
+	if err == nil {
+		t.Fatal("Retry succeeded against permanent 429s")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Retry waited %v through a cancelled context", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("made %d calls, want 1 (cancelled during the first wait)", calls.Load())
+	}
+}

@@ -25,6 +25,12 @@ type SolveRequest struct {
 	// clamped. When the limit stops the search the best allocation found
 	// so far is returned with Proven == false.
 	TimeLimitMs int64 `json:"time_limit_ms,omitempty"`
+	// DisableLPWarmStart switches off the dual-simplex LP warm starts
+	// inside branch and bound for this solve (every node then re-solves
+	// its relaxation cold). Costs are identical either way; the flag
+	// exists for ablation campaigns and numerical diagnosis, and a
+	// coordinator forwards it so remote solves honor it too.
+	DisableLPWarmStart bool `json:"disable_lp_warm_start,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -74,6 +80,24 @@ type Allocation = rentmin.Allocation
 // input order.
 type BatchResponse struct {
 	Solutions []Solution `json:"solutions"`
+}
+
+// Capacity is the body of a GET /v1/capacity response: the static
+// sizing a coordinator needs to dispatch against this daemon. The
+// instantaneous queue state lives in Health instead.
+type Capacity struct {
+	// Workers is the daemon's solver pool size — the maximum number of
+	// solves it runs concurrently, and the in-flight cap a RemotePool
+	// dispatcher applies to this worker.
+	Workers int `json:"workers"`
+	// QueueCapacity is how many admitted solves may wait beyond the
+	// in-flight ones before the daemon answers 429.
+	QueueCapacity int `json:"queue_capacity"`
+	// MaxBatch is the daemon's per-request batch admission limit.
+	MaxBatch int `json:"max_batch"`
+	// PerSolveWorkers is the branch-and-bound parallelism inside each
+	// individual solve on this daemon.
+	PerSolveWorkers int `json:"per_solve_workers"`
 }
 
 // Health is the body of a /healthz response.

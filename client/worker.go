@@ -1,0 +1,170 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"rentmin"
+)
+
+// Worker adapts a Client into a rentmin.RemoteWorker, so a rentmind
+// daemon can serve as one unit of capacity inside a remote-backed
+// rentmin.SolverPool. It retries transient rejections (429/503) against
+// its own daemon first — honoring APIError.Temporary and the Retry-After
+// hint via Retry — and only once those retries are exhausted, or the
+// connection itself fails, does it report a rentmin.WorkerFaultError so
+// the dispatcher re-routes the problem to a healthier worker.
+type Worker struct {
+	c        *Client
+	retry    *Backoff
+	attempts int
+}
+
+// NewWorker wraps a Client as fleet capacity. retry may be nil (default
+// schedule, seed 0); attempts <= 0 means 3 tries per solve against this
+// worker before a transient failure escalates to a worker fault.
+func NewWorker(c *Client, retry *Backoff, attempts int) *Worker {
+	if retry == nil {
+		retry = NewBackoff(0)
+	}
+	if attempts <= 0 {
+		attempts = 3
+	}
+	return &Worker{c: c, retry: retry, attempts: attempts}
+}
+
+// Name implements rentmin.RemoteWorker with the daemon's base URL.
+func (w *Worker) Name() string { return w.c.BaseURL() }
+
+// Capacity implements rentmin.RemoteWorker via GET /v1/capacity: the
+// daemon's solver pool size is the in-flight cap the dispatcher applies
+// to this worker.
+func (w *Worker) Capacity(ctx context.Context) (int, error) {
+	info, err := w.c.Capacity(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return info.Workers, nil
+}
+
+// Solve implements rentmin.RemoteWorker over POST /v1/solve.
+func (w *Worker) Solve(ctx context.Context, p *rentmin.Problem, opts *rentmin.SolveOptions) (rentmin.Solution, error) {
+	copts := &Options{}
+	if opts != nil {
+		copts.TimeLimit = opts.TimeLimit
+		copts.DisableLPWarmStart = opts.DisableLPWarmStart
+		// opts.Workers is deliberately not forwarded: the worker daemon's
+		// own -per-solve-workers decides its inner parallelism.
+	}
+	var sol *Solution
+	err := Retry(ctx, w.retry, w.attempts, func() error {
+		var err error
+		sol, err = w.c.Solve(ctx, p, copts)
+		return err
+	})
+	if err != nil {
+		return rentmin.Solution{}, w.classify(ctx, err)
+	}
+	return sol.ToSolution()
+}
+
+// classify decides whether a solve failure indicts the worker (wrapped
+// in rentmin.WorkerFaultError, triggering re-dispatch plus backoff) or
+// belongs to the request itself (passed through).
+func (w *Worker) classify(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		// The caller cancelled; whatever the transport reported says
+		// nothing about the worker's health.
+		return err
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		// A still-temporary rejection after all retries (overflowing
+		// queue, draining) means this worker cannot take the problem —
+		// another one can. Permanent rejections (400 malformed, 422
+		// admission, 504 deadline before feasibility) follow the problem
+		// to any worker, so they are the caller's error.
+		if ae.Temporary() {
+			return &rentmin.WorkerFaultError{Worker: w.Name(), Err: err}
+		}
+		return err
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		// Transport-level failure: connection refused, reset, DNS — the
+		// worker is unreachable.
+		return &rentmin.WorkerFaultError{Worker: w.Name(), Err: err}
+	}
+	return err
+}
+
+// ToSolution converts a wire Solution into the rentmin.Solution the
+// solver APIs return. A batch item that carries a per-item Error comes
+// back as that error.
+func (s *Solution) ToSolution() (rentmin.Solution, error) {
+	if s.Error != "" {
+		return rentmin.Solution{}, fmt.Errorf("rentmind: %s", s.Error)
+	}
+	return rentmin.Solution{
+		Alloc:          s.Allocation,
+		Proven:         s.Proven,
+		Bound:          s.Bound,
+		Nodes:          s.Nodes,
+		LPIterations:   s.LPIterations,
+		LPSolves:       s.LPSolves,
+		WastedLPSolves: s.WastedLPSolves,
+		Elapsed:        time.Duration(s.ElapsedMs * float64(time.Millisecond)),
+	}, nil
+}
+
+// FleetConfig tunes NewFleet.
+type FleetConfig struct {
+	// HTTPClient is used for every worker (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	// Seed drives the jittered retry/backoff schedule shared by the
+	// fleet, keeping multi-process tests reproducible.
+	Seed uint64
+	// RetryAttempts is how many tries each solve gets against its
+	// assigned worker before a transient failure escalates to a worker
+	// fault (0 = 3).
+	RetryAttempts int
+	// MaxAttempts bounds how many workers one problem may be dispatched
+	// to before its last fault is reported as its error (0 = 3 per
+	// worker, at least 4).
+	MaxAttempts int
+}
+
+// NewFleet builds a remote-backed rentmin.SolverPool over rentmind
+// daemons at the given base URLs: the coordinator side of the
+// distributed solver pool. It discovers each worker's in-flight cap from
+// GET /v1/capacity under ctx (start the workers first), and returns a
+// pool with the standard SolverPool semantics — batch results ordered by
+// input index, cancellation aborting queued and in-flight remote solves,
+// and faulted workers backed off with their items re-dispatched.
+func NewFleet(ctx context.Context, endpoints []string, cfg *FleetConfig) (*rentmin.SolverPool, error) {
+	var fc FleetConfig
+	if cfg != nil {
+		fc = *cfg
+	}
+	retry := NewBackoff(fc.Seed)
+	var workers []rentmin.RemoteWorker
+	for _, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			continue
+		}
+		workers = append(workers, NewWorker(NewWithHTTPClient(ep, fc.HTTPClient), retry, fc.RetryAttempts))
+	}
+	if len(workers) == 0 {
+		return nil, errors.New("rentmind: fleet needs at least one worker endpoint")
+	}
+	return rentmin.NewRemoteSolverPool(ctx, workers, &rentmin.RemoteConfig{
+		Backoff:     retry.Delay,
+		MaxAttempts: fc.MaxAttempts,
+	})
+}

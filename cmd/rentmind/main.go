@@ -10,15 +10,27 @@
 //	         [-max-target 1000000] [-max-batch 64] [-max-body 16777216]
 //	         [-default-time-limit 10s] [-max-time-limit 60s]
 //	         [-shutdown-grace 30s]
+//	         [-workers-endpoints http://w1:8080,http://w2:8080 [-workers-wait 15s]]
+//
+// With -workers-endpoints the daemon runs in coordinator mode: instead
+// of solving in-process it dispatches every solve — batch items
+// individually — across the listed rentmind worker daemons, discovering
+// each worker's in-flight cap from its GET /v1/capacity, re-dispatching
+// items away from faulted workers with exponential backoff, and
+// exporting per-worker health gauges on /metrics. The HTTP API is
+// identical in both modes; see docs/distributed.md for the topology.
 //
 // Endpoints (wire types in package rentmin/client, architecture in
 // internal/server):
 //
-//	POST /v1/solve  solve one problem JSON document
-//	POST /v1/batch  solve many problems concurrently
-//	GET  /healthz   liveness and queue gauges (503 while draining)
-//	GET  /metrics   Prometheus-style counters: solve counts, queue depth,
-//	                p50/p99 latency, LP iteration and speculation-waste totals
+//	POST /v1/solve    solve one problem JSON document
+//	POST /v1/batch    solve many problems concurrently
+//	GET  /v1/capacity static sizing for coordinators (solver pool size,
+//	                  queue capacity, batch limit)
+//	GET  /healthz     liveness and queue gauges (503 while draining)
+//	GET  /metrics     Prometheus-style counters: solve counts, queue depth,
+//	                  p50/p99 latency, LP iteration and speculation-waste
+//	                  totals, per-worker fleet health in coordinator mode
 //
 // A quick round trip against a running daemon:
 //
@@ -35,9 +47,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"rentmin"
+	"rentmin/client"
 	"rentmin/internal/server"
 )
 
@@ -58,9 +73,11 @@ func main() {
 	defaultLimit := flag.Duration("default-time-limit", 10*time.Second, "solve deadline when the request sends none")
 	maxLimit := flag.Duration("max-time-limit", 60*time.Second, "hard cap on client-requested solve deadlines")
 	grace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight solves on SIGINT/SIGTERM")
+	workersEndpoints := flag.String("workers-endpoints", "", "comma-separated rentmind worker base URLs; when set the daemon runs as a coordinator dispatching every solve across the fleet instead of solving in-process")
+	workersWait := flag.Duration("workers-wait", 15*time.Second, "how long to keep retrying worker capacity discovery at coordinator startup")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:          *workers,
 		PerSolveWorkers:  *perSolve,
 		QueueDepth:       *queue,
@@ -72,7 +89,19 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		DefaultTimeLimit: *defaultLimit,
 		MaxTimeLimit:     *maxLimit,
-	})
+	}
+	if *workersEndpoints != "" {
+		fleet, err := dialFleet(strings.Split(*workersEndpoints, ","), *workersWait)
+		if err != nil {
+			log.Fatalf("coordinator: %v", err)
+		}
+		cfg.SolverPool = fleet
+		if *workers == 0 {
+			cfg.Workers = 0 // let the fleet capacity size the lease table
+		}
+		log.Printf("coordinator mode: %d workers, fleet capacity %d", len(fleet.WorkerStats()), fleet.Workers())
+	}
+	srv := server.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -105,4 +134,24 @@ func main() {
 	}
 	srv.Close()
 	log.Printf("drained, bye")
+}
+
+// dialFleet builds the remote-backed solver pool, retrying capacity
+// discovery until every worker answered or the wait budget is spent —
+// coordinator and workers usually boot together, so the first probes may
+// land before the workers listen.
+func dialFleet(endpoints []string, wait time.Duration) (*rentmin.SolverPool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	for {
+		fleet, err := client.NewFleet(ctx, endpoints, nil)
+		if err == nil {
+			return fleet, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
 }

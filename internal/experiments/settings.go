@@ -10,6 +10,7 @@ package experiments
 import (
 	"time"
 
+	"rentmin"
 	"rentmin/internal/graphgen"
 	"rentmin/internal/heuristics"
 )
@@ -52,6 +53,18 @@ type Setting struct {
 	// solve (every branch-and-bound node then re-solves cold), for
 	// warm-vs-cold ablation campaigns. Costs are identical either way.
 	ILPColdLP bool
+	// SolverPool, when non-nil, routes every exact (ILP) solve of the
+	// sweep through the given pool instead of calling the solver stack
+	// directly. The sweep code is identical for every backend: a local
+	// pool reproduces the in-process path, while a remote-backed pool
+	// (rentmin/client.NewFleet over rentmind worker daemons) shards the
+	// sweep's exact solves across processes or machines — the heuristics
+	// and instance generation always run in-process, since they are
+	// orders of magnitude cheaper than the ILP column they are compared
+	// against. The caller owns the pool (RunSweep does not close it).
+	// Costs — and therefore every figure quantity except wall-clock
+	// timings — are identical across backends.
+	SolverPool *rentmin.SolverPool
 }
 
 // ilpWorkers maps the Setting field to solve.ILPOptions.Workers semantics

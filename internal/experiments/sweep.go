@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"rentmin"
 	"rentmin/internal/core"
 	"rentmin/internal/graphgen"
 	"rentmin/internal/heuristics"
@@ -50,10 +52,18 @@ type SweepResult struct {
 
 // RunSweep executes the campaign: Configs random (application, cloud)
 // instances × Targets × (ILP + heuristics). Configurations run in
-// parallel on a solve.Pool; every algorithm draws its randomness from a
-// sub-stream of (Seed, config, target, algo), so results are independent
-// of the worker schedule.
+// parallel on an internal/pool.Pool; every algorithm draws its
+// randomness from a sub-stream of (Seed, config, target, algo), so
+// results are independent of the worker schedule.
 func RunSweep(s Setting) (*SweepResult, error) {
+	return RunSweepContext(context.Background(), s)
+}
+
+// RunSweepContext is RunSweep under a context: cancellation stops
+// configurations that have not started and aborts in-flight ILP solves
+// mid-search (a remote-backed Setting.SolverPool additionally aborts
+// queued and in-flight remote dispatches).
+func RunSweepContext(ctx context.Context, s Setting) (*SweepResult, error) {
 	if s.Configs <= 0 {
 		return nil, fmt.Errorf("experiments: %s: no configurations", s.Name)
 	}
@@ -81,13 +91,19 @@ func RunSweep(s Setting) (*SweepResult, error) {
 
 	master := rng.New(s.Seed)
 	workers := s.Workers
+	if workers == 0 && s.SolverPool != nil {
+		// Fan configurations out to the solver pool's own capacity: a
+		// remote fleet may hold far more solves in flight than this
+		// machine has cores.
+		workers = s.SolverPool.Workers()
+	}
 	if workers > s.Configs {
 		workers = s.Configs
 	}
-	p := pool.New(workers) // 0 = GOMAXPROCS
+	var p pool.Pool = pool.New(workers) // 0 = GOMAXPROCS
 	defer p.Close()
-	err := p.Run(s.Configs, func(c int) error {
-		if err := runConfig(s, algos, master, c, grid); err != nil {
+	err := p.RunContext(ctx, s.Configs, func(ctx context.Context, c int) error {
+		if err := runConfig(ctx, s, algos, master, c, grid); err != nil {
 			return fmt.Errorf("experiments: %s config %d: %w", s.Name, c, err)
 		}
 		return nil
@@ -99,7 +115,7 @@ func RunSweep(s Setting) (*SweepResult, error) {
 }
 
 // runConfig generates one random instance and fills its grid column.
-func runConfig(s Setting, algos []heuristics.Algorithm, master *rng.Source, c int, grid [][][]cell) error {
+func runConfig(ctx context.Context, s Setting, algos []heuristics.Algorithm, master *rng.Source, c int, grid [][][]cell) error {
 	problem, err := graphgen.Generate(s.Gen, master.Sub('c', uint64(c)))
 	if err != nil {
 		return err
@@ -107,21 +123,14 @@ func runConfig(s Setting, algos []heuristics.Algorithm, master *rng.Source, c in
 	model := core.NewCostModel(problem)
 	for ti, target := range s.Targets {
 		start := time.Now()
-		res, err := solve.ILP(model, target, &solve.ILPOptions{
-			TimeLimit:          s.ILPTimeLimit,
-			Workers:            s.ilpWorkers(),
-			DisableLPWarmStart: s.ILPColdLP,
-		})
+		ilp, err := s.exactSolve(ctx, model, problem, target)
 		if err != nil {
 			return fmt.Errorf("ILP at target %d: %w", target, err)
 		}
-		if res.Status != milp.Optimal && res.Status != milp.Feasible {
-			return fmt.Errorf("ILP at target %d returned %v", target, res.Status)
-		}
 		grid[0][ti][c] = cell{
-			cost:    res.Alloc.Cost,
+			cost:    ilp.cost,
 			seconds: time.Since(start).Seconds(),
-			proven:  res.Proven,
+			proven:  ilp.proven,
 		}
 		for ai, alg := range algos {
 			src := master.Sub('h', uint64(c), uint64(ti), uint64(ai))
@@ -134,6 +143,44 @@ func runConfig(s Setting, algos []heuristics.Algorithm, master *rng.Source, c in
 		}
 	}
 	return nil
+}
+
+// exactResult is what the sweep needs from the exact solver column.
+type exactResult struct {
+	cost   int64
+	proven bool
+}
+
+// exactSolve runs the sweep's exact (ILP) solve for one (instance,
+// target) cell: in-process through internal/solve by default, or routed
+// through Setting.SolverPool — which may dispatch it to a remote rentmind
+// worker — when one is configured. Both paths produce identical costs.
+func (s Setting) exactSolve(ctx context.Context, model *core.CostModel, problem *core.Problem, target int) (exactResult, error) {
+	if s.SolverPool != nil {
+		p := *problem // shallow copy: only the target differs per cell
+		p.Target = target
+		sol, err := s.SolverPool.SolveContext(ctx, &p, &rentmin.SolveOptions{
+			TimeLimit:          s.ILPTimeLimit,
+			Workers:            s.ilpWorkers(),
+			DisableLPWarmStart: s.ILPColdLP,
+		})
+		if err != nil {
+			return exactResult{}, err
+		}
+		return exactResult{cost: sol.Alloc.Cost, proven: sol.Proven}, nil
+	}
+	res, err := solve.ILPContext(ctx, model, target, &solve.ILPOptions{
+		TimeLimit:          s.ILPTimeLimit,
+		Workers:            s.ilpWorkers(),
+		DisableLPWarmStart: s.ILPColdLP,
+	})
+	if err != nil {
+		return exactResult{}, err
+	}
+	if res.Status != milp.Optimal && res.Status != milp.Feasible {
+		return exactResult{}, fmt.Errorf("status %v", res.Status)
+	}
+	return exactResult{cost: res.Alloc.Cost, proven: res.Proven}, nil
 }
 
 // aggregate folds the raw grid into the figures' quantities.

@@ -271,7 +271,7 @@ type solver struct {
 	bestBits atomic.Uint64
 
 	// Worker pool for parallel node expansion (nil when Workers == 1).
-	pool *pool.Pool
+	pool *pool.LocalPool
 
 	// LP solve statistics, written from pool workers (atomics) and read
 	// by the coordinator when it assembles the Result.

@@ -11,7 +11,7 @@ func TestRunContextCompletesWithoutCancellation(t *testing.T) {
 	p := New(2)
 	defer p.Close()
 	var ran atomic.Int64
-	if err := p.RunContext(context.Background(), 20, func(i int) error {
+	if err := p.RunContext(context.Background(), 20, func(_ context.Context, i int) error {
 		ran.Add(1)
 		return nil
 	}); err != nil {
@@ -28,7 +28,7 @@ func TestRunContextPreCancelledSkipsEverything(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var ran atomic.Int64
-	err := p.RunContext(ctx, 10, func(i int) error {
+	err := p.RunContext(ctx, 10, func(_ context.Context, i int) error {
 		ran.Add(1)
 		return nil
 	})
@@ -47,7 +47,7 @@ func TestRunContextStopsSubmittingMidway(t *testing.T) {
 	var ran atomic.Int64
 	// The first task cancels the context; with one worker every later
 	// task is still unsubmitted at that point and must never start.
-	err := p.RunContext(ctx, 50, func(i int) error {
+	err := p.RunContext(ctx, 50, func(_ context.Context, i int) error {
 		ran.Add(1)
 		if i == 0 {
 			cancel()
@@ -68,7 +68,7 @@ func TestRunContextTaskErrorWinsOverCancellation(t *testing.T) {
 	defer p.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	boom := errors.New("boom")
-	err := p.RunContext(ctx, 8, func(i int) error {
+	err := p.RunContext(ctx, 8, func(_ context.Context, i int) error {
 		if i == 0 {
 			cancel()
 			return boom

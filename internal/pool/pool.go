@@ -1,36 +1,131 @@
-// Package pool provides the fixed-size worker pool shared by every
+// Package pool provides the task-pool abstraction shared by every
 // parallel layer of the system: branch-and-bound node expansion
 // (internal/milp), batch solving (rentmin.SolverPool) and experiment
 // sweeps (internal/experiments). It is a leaf package so all of them can
 // depend on it.
+//
+// Two implementations exist behind the Pool interface: LocalPool runs
+// tasks on a fixed set of in-process goroutines, RemotePool dispatches
+// them across the capacity of a fleet of remote executors (rentmind
+// worker daemons, in practice) with per-worker backoff and re-dispatch
+// on worker faults. Both share the same contract: results land by task
+// index, the lowest-index task error wins, and cancellation skips tasks
+// that have not started.
 package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
-// Pool is a fixed-size worker pool for running many independent
-// CPU-bound tasks concurrently. The worker goroutines are started once
-// and reused across Run calls, so a long-lived service can keep one Pool
-// and push every incoming batch through it.
+// Pool runs n independent index-addressed tasks with bounded
+// concurrency. Implementations bound concurrency, they do not create it
+// per call — the idiomatic replacement for ad-hoc
+// `for w := 0; w < workers; w++ { go ... }` loops.
 //
-// Pool bounds concurrency, it does not create it per call — the idiomatic
-// replacement for ad-hoc `for w := 0; w < workers; w++ { go ... }` loops.
-type Pool struct {
+// The shared contract, which the conformance suite in conformance_test.go
+// pins for every implementation:
+//
+//   - every task that runs is invoked exactly once per dispatch, and its
+//     outcome is recorded under its own index — results are ordered by
+//     index no matter which worker finished first;
+//   - Run and RunContext return the error of the lowest-index failing
+//     task, independent of the completion schedule;
+//   - once the context is done, tasks that have not started are never
+//     started; started tasks are awaited. If no task failed but at least
+//     one was skipped, RunContext returns ctx.Err();
+//   - a panicking task is isolated: it becomes a *PanicError instead of
+//     crashing the pool (Do re-panics it at the call site).
+type Pool interface {
+	// Workers returns the pool's concurrency bound: goroutines for a
+	// LocalPool, total fleet capacity for a RemotePool.
+	Workers() int
+	// Run executes fn(0) … fn(n-1) on the pool and waits for all of them.
+	Run(n int, fn func(i int) error) error
+	// RunContext is Run with cancellation. fn receives a context derived
+	// from ctx; a RemotePool annotates it with the assigned worker (see
+	// AssignedWorker), a LocalPool passes ctx through unchanged. Tasks
+	// already running are not interrupted by RunContext itself — fn must
+	// observe its context to stop early.
+	RunContext(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error
+	// Do executes task(0) … task(n-1) and waits: Run for tasks that
+	// cannot fail. A panicking task re-panics in Do itself.
+	Do(n int, task func(i int))
+	// Close releases the pool's resources. The pool must not be used
+	// after Close; pending Run calls complete first.
+	Close()
+}
+
+// PanicError is a task panic converted into an error so one bad task
+// cannot take down the pool's worker (or, for a RemotePool, the
+// dispatcher). Do re-panics it; Run and RunContext return it.
+type PanicError struct {
+	// Index is the task that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task %d panicked: %v", e.Index, e.Value)
+}
+
+// safeCall invokes fn(ctx, i), converting a panic into a *PanicError.
+func safeCall(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// firstError returns the lowest-index non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rethrowPanic re-panics a *PanicError returned by Run, for Do
+// implementations: a panic in a fire-and-forget task should surface at
+// the call site, not vanish.
+func rethrowPanic(err error) {
+	if pe, ok := err.(*PanicError); ok {
+		panic(fmt.Sprintf("%v\n\ntask stack:\n%s", pe, pe.Stack))
+	}
+}
+
+// LocalPool is the in-process Pool: a fixed set of worker goroutines,
+// started once and reused across Run calls, so a long-lived service can
+// keep one pool and push every incoming batch through it.
+//
+// Run must not be called from inside a pool task: a task waiting on its
+// own pool can deadlock once every worker is occupied.
+type LocalPool struct {
 	workers int
 	jobs    chan func()
 	wg      sync.WaitGroup
 }
 
-// New starts a pool with the given number of workers; zero or
+var _ Pool = (*LocalPool)(nil)
+
+// New starts a local pool with the given number of workers; zero or
 // negative uses GOMAXPROCS. Close must be called to release the workers.
-func New(workers int) *Pool {
+func New(workers int) *LocalPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: workers, jobs: make(chan func())}
+	p := &LocalPool{workers: workers, jobs: make(chan func())}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -44,26 +139,21 @@ func New(workers int) *Pool {
 }
 
 // Workers returns the pool size.
-func (p *Pool) Workers() int { return p.workers }
+func (p *LocalPool) Workers() int { return p.workers }
 
 // Run executes fn(0) … fn(n-1) on the pool and waits for all of them. It
 // returns the error of the lowest-index failing task (wrap errors inside
 // fn to attach task context), independent of the completion schedule.
-// Run is safe for concurrent use, but must not be called from inside a
-// pool task: a task waiting on its own pool can deadlock once every
-// worker is occupied.
-func (p *Pool) Run(n int, fn func(i int) error) error {
-	return p.RunContext(context.Background(), n, fn)
+func (p *LocalPool) Run(n int, fn func(i int) error) error {
+	return p.RunContext(context.Background(), n, func(_ context.Context, i int) error { return fn(i) })
 }
 
 // RunContext is Run with cancellation: once ctx is done, tasks that have
-// not yet been handed to a worker are never started. Tasks already running
-// are not interrupted by RunContext itself — fn must observe ctx on its
-// own if it wants to stop early. RunContext waits for every started task,
-// then returns the error of the lowest-index failing task; if no task
-// failed but ctx cancellation skipped at least one task, it returns
-// ctx.Err().
-func (p *Pool) RunContext(ctx context.Context, n int, fn func(i int) error) error {
+// not yet been handed to a worker are never started. RunContext waits for
+// every started task, then returns the error of the lowest-index failing
+// task; if no task failed but ctx cancellation skipped at least one task,
+// it returns ctx.Err().
+func (p *LocalPool) RunContext(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -81,7 +171,7 @@ submit:
 		select {
 		case p.jobs <- func() {
 			defer wg.Done()
-			errs[i] = fn(i)
+			errs[i] = safeCall(ctx, i, fn)
 		}:
 			started++
 		case <-ctx.Done():
@@ -90,10 +180,8 @@ submit:
 		}
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := firstError(errs); err != nil {
+		return err
 	}
 	if started < n {
 		return ctx.Err()
@@ -102,14 +190,13 @@ submit:
 }
 
 // Do executes task(0) … task(n-1) on the pool and waits for all of them:
-// Run for tasks that cannot fail.
-func (p *Pool) Do(n int, task func(i int)) {
-	_ = p.Run(n, func(i int) error { task(i); return nil })
+// Run for tasks that cannot fail. A panicking task re-panics here.
+func (p *LocalPool) Do(n int, task func(i int)) {
+	rethrowPanic(p.Run(n, func(i int) error { task(i); return nil }))
 }
 
-// Close stops the workers after any queued tasks finish. The pool must
-// not be used after Close; pending Run calls complete first.
-func (p *Pool) Close() {
+// Close stops the workers after any queued tasks finish.
+func (p *LocalPool) Close() {
 	close(p.jobs)
 	p.wg.Wait()
 }

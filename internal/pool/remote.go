@@ -1,0 +1,473 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RemoteSpec describes one remote executor behind a RemotePool: a name
+// for errors and metrics (typically the worker's endpoint URL) and its
+// capacity — the maximum number of tasks the pool keeps in flight on it
+// at once, discovered from the worker itself (GET /v1/capacity for a
+// rentmind daemon).
+type RemoteSpec struct {
+	Name     string
+	Capacity int
+}
+
+// RemoteConfig tunes a RemotePool's failure handling.
+type RemoteConfig struct {
+	// Backoff returns how long a worker sits out after its strike-th
+	// consecutive fault (strike counts from 1). Nil uses a deterministic
+	// exponential default: 100ms · 2^(strike-1), capped at 5s. Callers
+	// that want jitter inject it here (rentmin/client.Backoff supplies a
+	// seeded, jittered schedule so tests stay deterministic).
+	Backoff func(strike int) time.Duration
+	// MaxAttempts bounds how many dispatches one task may consume before
+	// its last worker fault is reported as the task's error (so a fleet
+	// that is entirely down cannot spin forever). Zero means
+	// 3·len(workers), at least 4.
+	MaxAttempts int
+}
+
+// RemoteWorkerStats is a point-in-time snapshot of one worker's health
+// inside a RemotePool, exported as the coordinator's worker gauges.
+type RemoteWorkerStats struct {
+	Name     string
+	Capacity int
+	// InFlight counts tasks currently dispatched to the worker.
+	InFlight int
+	// Dispatched counts tasks ever handed to the worker (re-dispatches
+	// of the same item count once per attempt).
+	Dispatched int64
+	// Succeeded counts dispatches that returned without a worker fault.
+	Succeeded int64
+	// Faults counts dispatches that ended in a worker fault.
+	Faults int64
+	// Strikes is the current consecutive-fault count (reset by any
+	// success); BackingOff reports whether the worker is sitting out.
+	Strikes    int
+	BackingOff bool
+}
+
+// workerFaulter is the contract a task error uses to indict the worker
+// it ran on rather than the task itself: the task is re-dispatched to
+// another worker and the faulted worker backs off. rentmin wraps remote
+// solve failures in such an error (rentmin.WorkerFaultError); the pool
+// only cares about the method so it stays transport-agnostic.
+type workerFaulter interface{ WorkerFault() bool }
+
+// IsWorkerFault reports whether err marks a worker fault (an error in
+// its chain implements WorkerFault() bool and returns true).
+func IsWorkerFault(err error) bool {
+	var f workerFaulter
+	return errors.As(err, &f) && f.WorkerFault()
+}
+
+// workerKey carries the assigned worker index in the task context.
+type workerKey struct{}
+
+// AssignedWorker returns the index (into the RemoteSpec slice) of the
+// worker a RemotePool bound the current task to, and whether the task is
+// running under a RemotePool at all. Task functions use it to route
+// their work to the right remote executor.
+func AssignedWorker(ctx context.Context) (int, bool) {
+	w, ok := ctx.Value(workerKey{}).(int)
+	return w, ok
+}
+
+// RemotePool is a Pool whose concurrency slots are the capacity of a
+// fleet of remote executors. It does not ship closures anywhere: it
+// decides which worker a task index is bound to and when, and the task
+// function routes its work to that worker (AssignedWorker). What the
+// pool owns is everything around that decision:
+//
+//   - per-worker in-flight caps (a worker never holds more tasks than
+//     its discovered capacity);
+//   - deterministic result ordering — outcomes land by task index no
+//     matter which worker answered, exactly like LocalPool;
+//   - failure handling: a task error marking a worker fault (see
+//     IsWorkerFault) puts the task back on the queue for a healthy
+//     worker and gives the faulted worker an exponential backoff, so a
+//     dead worker degrades throughput, not correctness;
+//   - cancellation: queued tasks are never dispatched after ctx is
+//     done, and in-flight tasks see the cancellation through their
+//     context (a remote HTTP solve aborts mid-flight).
+//
+// Worker health (strikes, backoff deadlines) persists across Run calls,
+// so a long-lived coordinator keeps avoiding a flapping worker between
+// batches. Concurrent Run calls share the fleet's capacity.
+type RemotePool struct {
+	specs       []RemoteSpec
+	backoff     func(strike int) time.Duration
+	maxAttempts int
+	capacity    int
+
+	mu         sync.Mutex
+	free       []int // free seats per worker
+	strikes    []int
+	until      []time.Time // backoff deadline per worker
+	inFlight   []int
+	dispatched []int64
+	succeeded  []int64
+	faults     []int64
+
+	// freed is a best-effort wakeup shared by concurrent Run calls: a
+	// scheduler starved of seats by another Run's tasks sleeps on it and
+	// re-checks the fleet when any seat frees anywhere.
+	freed chan struct{}
+}
+
+var _ Pool = (*RemotePool)(nil)
+
+// NewRemote builds a RemotePool over the given workers. Capacities below
+// one are clamped to one; an empty fleet is an error.
+func NewRemote(specs []RemoteSpec, cfg RemoteConfig) (*RemotePool, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("pool: remote pool needs at least one worker")
+	}
+	p := &RemotePool{
+		specs:       make([]RemoteSpec, len(specs)),
+		backoff:     cfg.Backoff,
+		maxAttempts: cfg.MaxAttempts,
+		free:        make([]int, len(specs)),
+		strikes:     make([]int, len(specs)),
+		until:       make([]time.Time, len(specs)),
+		inFlight:    make([]int, len(specs)),
+		dispatched:  make([]int64, len(specs)),
+		succeeded:   make([]int64, len(specs)),
+		faults:      make([]int64, len(specs)),
+		freed:       make(chan struct{}, 1),
+	}
+	for i, s := range specs {
+		if s.Capacity < 1 {
+			s.Capacity = 1
+		}
+		p.specs[i] = s
+		p.free[i] = s.Capacity
+		p.capacity += s.Capacity
+	}
+	if p.backoff == nil {
+		p.backoff = defaultBackoff
+	}
+	if p.maxAttempts <= 0 {
+		p.maxAttempts = 3 * len(specs)
+		if p.maxAttempts < 4 {
+			p.maxAttempts = 4
+		}
+	}
+	return p, nil
+}
+
+// seatPollInterval bounds how long a scheduler with queued tasks sleeps
+// between fleet re-checks: the lost-wakeup fallback for the shared
+// best-effort freed signal. 50ms is invisible next to remote solve times
+// while keeping a fleet-wide poll rate of a few dozen scans per second
+// even with many concurrent Runs waiting.
+const seatPollInterval = 50 * time.Millisecond
+
+// defaultBackoff is the deterministic exponential schedule used when the
+// config supplies none: 100ms, 200ms, 400ms, ... capped at 5s.
+func defaultBackoff(strike int) time.Duration {
+	d := 100 * time.Millisecond
+	for ; strike > 1 && d < 5*time.Second; strike-- {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// Workers returns the fleet's total capacity.
+func (p *RemotePool) Workers() int { return p.capacity }
+
+// Specs returns the fleet description the pool was built with.
+func (p *RemotePool) Specs() []RemoteSpec { return p.specs }
+
+// Stats snapshots per-worker health for metrics export.
+func (p *RemotePool) Stats() []RemoteWorkerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	out := make([]RemoteWorkerStats, len(p.specs))
+	for i, s := range p.specs {
+		out[i] = RemoteWorkerStats{
+			Name:       s.Name,
+			Capacity:   s.Capacity,
+			InFlight:   p.inFlight[i],
+			Dispatched: p.dispatched[i],
+			Succeeded:  p.succeeded[i],
+			Faults:     p.faults[i],
+			Strikes:    p.strikes[i],
+			BackingOff: p.until[i].After(now),
+		}
+	}
+	return out
+}
+
+// Close releases the pool. RemotePool owns no goroutines between Run
+// calls, so Close only exists to satisfy the Pool contract; the remote
+// workers themselves are owned by whoever created their clients.
+func (p *RemotePool) Close() {}
+
+// Run executes fn(0) … fn(n-1) across the fleet and waits; see Pool.
+func (p *RemotePool) Run(n int, fn func(i int) error) error {
+	return p.RunContext(context.Background(), n, func(_ context.Context, i int) error { return fn(i) })
+}
+
+// Do executes task(0) … task(n-1) across the fleet and waits; a
+// panicking task re-panics here.
+func (p *RemotePool) Do(n int, task func(i int)) {
+	rethrowPanic(p.Run(n, func(i int) error { task(i); return nil }))
+}
+
+// pickAssignment scans the queue in FIFO order for the first item with a
+// dispatchable worker: a free seat, no active backoff, and not excluded
+// by the item's own fault history (an item never returns to a worker it
+// already faulted on while alternatives exist — backoff-expiry probes of
+// a dead worker must not burn the same item's attempt budget over and
+// over). Among eligible workers it reserves a seat on the one with the
+// most free seats (ties to the lowest index), which spreads a batch
+// across the fleet instead of filling workers one by one. It returns the
+// queue position and worker, or (-1, -1) and the wait until the nearest
+// backoff expiry among workers with free seats (zero when no backoff is
+// pending and the caller must wait for a seat instead).
+func (p *RemotePool) pickAssignment(now time.Time, queue []item) (int, int, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for qi := range queue {
+		best := -1
+		for w := range p.specs {
+			if p.free[w] <= 0 || p.until[w].After(now) || queue[qi].excludes(w) {
+				continue
+			}
+			if best < 0 || p.free[w] > p.free[best] {
+				best = w
+			}
+		}
+		if best >= 0 {
+			p.free[best]--
+			p.inFlight[best]++
+			p.dispatched[best]++
+			return qi, best, 0
+		}
+	}
+	// Nothing dispatchable: report the nearest backoff expiry among
+	// workers that do have a free seat, so the scheduler can sleep until
+	// the fleet heals rather than only until a seat frees.
+	var wait time.Duration
+	for w := range p.specs {
+		if p.free[w] <= 0 {
+			continue
+		}
+		if d := p.until[w].Sub(now); d > 0 && (wait == 0 || d < wait) {
+			wait = d
+		}
+	}
+	return -1, -1, wait
+}
+
+// release frees the worker's seat and signals anyone waiting for one.
+func (p *RemotePool) release(w int) {
+	p.mu.Lock()
+	p.free[w]++
+	p.inFlight[w]--
+	p.mu.Unlock()
+	select {
+	case p.freed <- struct{}{}:
+	default:
+	}
+}
+
+// recordSuccess clears the worker's strike count.
+func (p *RemotePool) recordSuccess(w int) {
+	p.mu.Lock()
+	p.succeeded[w]++
+	p.strikes[w] = 0
+	p.mu.Unlock()
+}
+
+// recordFault adds a strike and schedules the worker's backoff.
+func (p *RemotePool) recordFault(w int) {
+	p.mu.Lock()
+	p.faults[w]++
+	p.strikes[w]++
+	p.until[w] = time.Now().Add(p.backoff(p.strikes[w]))
+	p.mu.Unlock()
+}
+
+// item is one task making its way through the dispatcher, carrying its
+// re-dispatch history.
+type item struct {
+	i        int
+	attempts int
+	lastErr  error
+	// excluded marks workers this item already faulted on; nil until the
+	// first fault. When every worker is excluded the set resets, so the
+	// item may probe the fleet again (bounded by MaxAttempts).
+	excluded []bool
+}
+
+func (it *item) excludes(w int) bool {
+	return it.excluded != nil && it.excluded[w]
+}
+
+// exclude marks the worker; it reports false when that was the last
+// non-excluded worker (caller resets the set).
+func (it *item) exclude(w, workers int) bool {
+	if it.excluded == nil {
+		it.excluded = make([]bool, workers)
+	}
+	it.excluded[w] = true
+	for _, x := range it.excluded {
+		if !x {
+			return true
+		}
+	}
+	return false
+}
+
+// completion is what a finished dispatch reports back to the scheduler.
+type completion struct {
+	it  item
+	w   int
+	err error
+}
+
+// RunContext dispatches fn(0) … fn(n-1) across the fleet; see Pool and
+// the RemotePool type comment for the contract. Each invocation of fn
+// receives a context annotated with its assigned worker (AssignedWorker).
+// A task whose error marks a worker fault is re-dispatched — up to
+// MaxAttempts dispatches, after which its last fault stands as its
+// error. Tasks cancelled after at least one faulted attempt report that
+// last fault rather than ctx.Err().
+func (p *RemotePool) RunContext(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	queue := make([]item, n)
+	for i := range queue {
+		queue[i] = item{i: i}
+	}
+	skipped := 0
+	inflight := 0
+	done := make(chan completion)
+	cancelled := false
+
+	for {
+		if !cancelled && ctx.Err() != nil {
+			// Stop dispatching: queued first-attempt tasks are skipped,
+			// queued re-dispatches keep their last fault as their error.
+			cancelled = true
+			for _, it := range queue {
+				if it.attempts == 0 {
+					skipped++
+				} else {
+					errs[it.i] = it.lastErr
+				}
+			}
+			queue = nil
+		}
+		if len(queue) == 0 && inflight == 0 {
+			break
+		}
+
+		var healWait time.Duration
+		if len(queue) > 0 {
+			qi, w, wait := p.pickAssignment(time.Now(), queue)
+			if w >= 0 {
+				it := queue[qi]
+				queue = append(queue[:qi], queue[qi+1:]...)
+				it.attempts++
+				inflight++
+				go func(it item, w int) {
+					err := safeCall(context.WithValue(ctx, workerKey{}, w), it.i, fn)
+					switch {
+					case err == nil:
+						p.recordSuccess(w)
+					case ctx.Err() != nil:
+						// A cancellation-time failure says nothing about
+						// the worker's health; don't poison its record.
+					case IsWorkerFault(err):
+						p.recordFault(w)
+					default:
+						p.recordSuccess(w) // the task failed, the worker answered
+					}
+					p.release(w)
+					done <- completion{it: it, w: w, err: err}
+				}(it, w)
+				continue
+			}
+			healWait = wait
+		}
+
+		// Nothing dispatchable: wait for one of our dispatches to finish,
+		// any seat in the fleet to free (it may belong to a concurrent
+		// Run), the nearest backoff to expire, or cancellation. While
+		// tasks are still queued the sleep is capped at a short poll:
+		// the freed channel is a best-effort single token shared by every
+		// concurrent Run, so a burst of seat releases can drop signals —
+		// without the poll, a Run whose tasks are excluded from the only
+		// idle worker could miss the wakeup and stall until cancellation.
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if len(queue) > 0 && (healWait <= 0 || healWait > seatPollInterval) {
+			healWait = seatPollInterval
+		}
+		if healWait > 0 {
+			timer = time.NewTimer(healWait)
+			timerC = timer.C
+		}
+		var ctxDone <-chan struct{}
+		if !cancelled {
+			ctxDone = ctx.Done()
+		}
+		select {
+		case c := <-done:
+			inflight--
+			p.settle(ctx, c, &queue, errs)
+		case <-p.freed:
+		case <-timerC:
+		case <-ctxDone:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	if skipped > 0 {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// settle folds one completed dispatch into the run's state: success
+// lands the result, a worker fault re-queues the task for a worker it
+// has not faulted on yet (until its attempt budget runs out), any other
+// error is the task's own.
+func (p *RemotePool) settle(ctx context.Context, c completion, queue *[]item, errs []error) {
+	switch {
+	case c.err == nil:
+		errs[c.it.i] = nil
+	case IsWorkerFault(c.err) && ctx.Err() == nil && c.it.attempts < p.maxAttempts:
+		c.it.lastErr = c.err
+		if !c.it.exclude(c.w, len(p.specs)) {
+			// Every worker has faulted this item once: clear the history
+			// so it may probe the (possibly recovering) fleet again.
+			c.it.excluded = nil
+		}
+		*queue = append(*queue, c.it)
+	case IsWorkerFault(c.err) && c.it.attempts >= p.maxAttempts:
+		errs[c.it.i] = fmt.Errorf("pool: task %d failed on %d dispatches, giving up: %w", c.it.i, c.it.attempts, c.err)
+	default:
+		errs[c.it.i] = c.err
+	}
+}

@@ -1,0 +1,267 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// faultErr is the test's worker-fault marker (mirrors what rentmin's
+// WorkerFaultError provides in production).
+type faultErr struct{ worker int }
+
+func (e *faultErr) Error() string     { return fmt.Sprintf("worker %d faulted", e.worker) }
+func (e *faultErr) WorkerFault() bool { return true }
+func (e *faultErr) Unwrap() error     { return nil }
+func newFault(w int) error            { return &faultErr{worker: w} }
+
+// fastBackoff keeps re-dispatch tests quick.
+func fastBackoff(int) time.Duration { return time.Millisecond }
+
+func twoWorkerPool(t *testing.T, cfg RemoteConfig) *RemotePool {
+	t.Helper()
+	p, err := NewRemote([]RemoteSpec{{Name: "w0", Capacity: 2}, {Name: "w1", Capacity: 2}}, cfg)
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestRemoteRedispatchAfterWorkerFault(t *testing.T) {
+	p := twoWorkerPool(t, RemoteConfig{Backoff: fastBackoff})
+	const n = 12
+	var solvedByHealthy atomic.Int64
+	out := make([]int64, n)
+	err := p.RunContext(context.Background(), n, func(ctx context.Context, i int) error {
+		w, ok := AssignedWorker(ctx)
+		if !ok {
+			return errors.New("no assigned worker")
+		}
+		if w == 0 {
+			return newFault(w) // worker 0 is dead: every dispatch to it faults
+		}
+		solvedByHealthy.Add(1)
+		atomic.StoreInt64(&out[i], int64(i+1))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunContext: %v (a dead worker must degrade throughput, not correctness)", err)
+	}
+	for i := range out {
+		if atomic.LoadInt64(&out[i]) != int64(i+1) {
+			t.Errorf("item %d never solved", i)
+		}
+	}
+	if solvedByHealthy.Load() != n {
+		t.Errorf("healthy worker solved %d items, want all %d", solvedByHealthy.Load(), n)
+	}
+	stats := p.Stats()
+	if stats[0].Faults == 0 {
+		t.Errorf("dead worker recorded no faults: %+v", stats[0])
+	}
+	if stats[0].Succeeded != 0 {
+		t.Errorf("dead worker recorded successes: %+v", stats[0])
+	}
+	if stats[1].Succeeded != n {
+		t.Errorf("healthy worker succeeded %d, want %d", stats[1].Succeeded, n)
+	}
+	if stats[0].InFlight != 0 || stats[1].InFlight != 0 {
+		t.Errorf("in-flight not drained: %+v", stats)
+	}
+}
+
+func TestRemoteBackoffShieldsDeadWorker(t *testing.T) {
+	// With a long backoff relative to the run, the dead worker takes one
+	// strike (maybe a couple while the first items race) and then sits
+	// out; the bulk of the work must not keep bouncing off it.
+	p := twoWorkerPool(t, RemoteConfig{Backoff: func(int) time.Duration { return time.Minute }})
+	const n = 20
+	var faults atomic.Int64
+	err := p.RunContext(context.Background(), n, func(ctx context.Context, i int) error {
+		if w, _ := AssignedWorker(ctx); w == 0 {
+			faults.Add(1)
+			return newFault(w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	// Capacity 2 means at most 2 dispatches can be in flight on worker 0
+	// before its first strike lands and the backoff shields it.
+	if f := faults.Load(); f > 2 {
+		t.Errorf("dead worker was dispatched %d times despite backoff, want <= 2", f)
+	}
+	if !p.Stats()[0].BackingOff {
+		t.Errorf("dead worker not backing off after faults")
+	}
+	if p.Stats()[0].Strikes == 0 {
+		t.Errorf("dead worker has no strikes recorded")
+	}
+}
+
+func TestRemoteGivesUpAfterMaxAttempts(t *testing.T) {
+	p, err := NewRemote(
+		[]RemoteSpec{{Name: "w0", Capacity: 1}, {Name: "w1", Capacity: 1}},
+		RemoteConfig{Backoff: fastBackoff, MaxAttempts: 3},
+	)
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	defer p.Close()
+	var tries atomic.Int64
+	err = p.RunContext(context.Background(), 1, func(ctx context.Context, i int) error {
+		tries.Add(1)
+		w, _ := AssignedWorker(ctx)
+		return newFault(w) // the whole fleet is down
+	})
+	if err == nil {
+		t.Fatalf("RunContext succeeded with every worker faulting")
+	}
+	if !IsWorkerFault(err) {
+		t.Errorf("final error does not carry the worker fault: %v", err)
+	}
+	if tries.Load() != 3 {
+		t.Errorf("task dispatched %d times, want exactly MaxAttempts = 3", tries.Load())
+	}
+}
+
+func TestRemoteSuccessResetsStrikes(t *testing.T) {
+	p := twoWorkerPool(t, RemoteConfig{Backoff: fastBackoff})
+	var flaky atomic.Bool
+	flaky.Store(true)
+	run := func(n int) error {
+		return p.RunContext(context.Background(), n, func(ctx context.Context, i int) error {
+			if w, _ := AssignedWorker(ctx); w == 0 && flaky.Load() {
+				return newFault(w)
+			}
+			return nil
+		})
+	}
+	if err := run(6); err != nil {
+		t.Fatalf("flaky run: %v", err)
+	}
+	if p.Stats()[0].Strikes == 0 {
+		t.Fatalf("worker 0 took no strikes while flaky")
+	}
+	flaky.Store(false)
+	// Health state persists across Run calls; once the backoff lapses the
+	// recovered worker serves again and its strikes reset.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats()[0].Strikes != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("strikes never reset after recovery: %+v", p.Stats()[0])
+		}
+		if err := run(4); err != nil {
+			t.Fatalf("recovered run: %v", err)
+		}
+	}
+}
+
+func TestRemoteConcurrentRunsShareCapacity(t *testing.T) {
+	p := twoWorkerPool(t, RemoteConfig{Backoff: fastBackoff})
+	var cur, peak atomic.Int64
+	task := func(ctx context.Context, i int) error {
+		if c := cur.Add(1); c > peak.Load() {
+			peak.Store(c)
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.RunContext(context.Background(), 10, task); err != nil {
+				t.Errorf("RunContext: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > int64(p.Workers()) {
+		t.Errorf("observed %d concurrent tasks with fleet capacity %d", peak.Load(), p.Workers())
+	}
+}
+
+func TestRemotePerWorkerInFlightCap(t *testing.T) {
+	p, err := NewRemote(
+		[]RemoteSpec{{Name: "w0", Capacity: 1}, {Name: "w1", Capacity: 3}},
+		RemoteConfig{Backoff: fastBackoff},
+	)
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	defer p.Close()
+	var cur [2]atomic.Int64
+	var peak [2]atomic.Int64
+	err = p.RunContext(context.Background(), 30, func(ctx context.Context, i int) error {
+		w, _ := AssignedWorker(ctx)
+		if c := cur[w].Add(1); c > peak[w].Load() {
+			peak[w].Store(c)
+		}
+		time.Sleep(time.Millisecond)
+		cur[w].Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if peak[0].Load() > 1 {
+		t.Errorf("worker 0 held %d tasks in flight, cap is 1", peak[0].Load())
+	}
+	if peak[1].Load() > 3 {
+		t.Errorf("worker 1 held %d tasks in flight, cap is 3", peak[1].Load())
+	}
+	if peak[1].Load() == 0 {
+		t.Errorf("worker 1 never used")
+	}
+}
+
+func TestRemoteEmptyFleetRejected(t *testing.T) {
+	if _, err := NewRemote(nil, RemoteConfig{}); err == nil {
+		t.Fatalf("NewRemote accepted an empty fleet")
+	}
+}
+
+func TestRemoteCancelAbortsQueuedRedispatch(t *testing.T) {
+	// A task whose worker faulted sits on the retry queue; cancellation
+	// must fail it with its last fault instead of waiting out backoffs.
+	p, err := NewRemote([]RemoteSpec{{Name: "w0", Capacity: 1}}, RemoteConfig{
+		Backoff: func(int) time.Duration { return time.Hour },
+	})
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var tries atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- p.RunContext(ctx, 1, func(ctx context.Context, i int) error {
+			tries.Add(1)
+			cancel() // cancel while the task is being (re-)queued
+			return newFault(0)
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("RunContext succeeded despite permanent fault")
+		}
+		if !IsWorkerFault(err) && !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want the last fault or cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("RunContext hung: cancellation did not abort the backoff wait")
+	}
+	if tries.Load() != 1 {
+		t.Errorf("task dispatched %d times after cancellation, want 1", tries.Load())
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rentmin"
+	"rentmin/client"
+)
+
+// recordingWorker is an in-process rentmin.RemoteWorker that captures
+// the options each dispatch carries — what a real rentmind worker
+// daemon would receive on the wire.
+type recordingWorker struct {
+	mu   sync.Mutex
+	got  []rentmin.SolveOptions
+	caps int
+}
+
+func (w *recordingWorker) Name() string                              { return "recorder" }
+func (w *recordingWorker) Capacity(ctx context.Context) (int, error) { return w.caps, nil }
+
+func (w *recordingWorker) Solve(ctx context.Context, p *rentmin.Problem, opts *rentmin.SolveOptions) (rentmin.Solution, error) {
+	w.mu.Lock()
+	if opts != nil {
+		w.got = append(w.got, *opts)
+	} else {
+		w.got = append(w.got, rentmin.SolveOptions{})
+	}
+	w.mu.Unlock()
+	return rentmin.SolveContext(ctx, p, opts)
+}
+
+func (w *recordingWorker) options() []rentmin.SolveOptions {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]rentmin.SolveOptions(nil), w.got...)
+}
+
+func newCoordinatorServer(t *testing.T, worker *recordingWorker) *client.Client {
+	t.Helper()
+	pool, err := rentmin.NewRemoteSolverPool(context.Background(), []rentmin.RemoteWorker{worker}, nil)
+	if err != nil {
+		t.Fatalf("NewRemoteSolverPool: %v", err)
+	}
+	// The server takes ownership of the pool; newTestServer's cleanup
+	// closes it via Server.Close.
+	_, c := newTestServer(t, Config{SolverPool: pool})
+	return c
+}
+
+// TestCoordinatorForwardsDeadlineToWorkers: the request's time budget
+// must reach the remote worker as an explicit limit — the context
+// deadline alone does not serialize onto the wire, and without it a
+// worker would apply its own default and diverge from local-mode
+// semantics.
+func TestCoordinatorForwardsDeadlineToWorkers(t *testing.T) {
+	worker := &recordingWorker{caps: 2}
+	c := newCoordinatorServer(t, worker)
+
+	p := rentmin.IllustratingExample()
+	p.Target = 70
+	requested := 7 * time.Second
+	if _, err := c.Solve(context.Background(), p, &client.Options{TimeLimit: requested}); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	got := worker.options()
+	if len(got) != 1 {
+		t.Fatalf("worker saw %d dispatches, want 1", len(got))
+	}
+	if got[0].TimeLimit <= 0 || got[0].TimeLimit > requested {
+		t.Errorf("forwarded TimeLimit = %v, want in (0, %v]", got[0].TimeLimit, requested)
+	}
+	// The grace margin exists so the worker answers before the
+	// coordinator's context cuts the connection.
+	if got[0].TimeLimit > requested-400*time.Millisecond {
+		t.Errorf("forwarded TimeLimit = %v leaves no grace before the %v deadline", got[0].TimeLimit, requested)
+	}
+
+	// Batch items share one deadline; each dispatch forwards a positive
+	// remaining budget.
+	if _, err := c.SolveBatch(context.Background(), []*rentmin.Problem{p, p, p}, &client.Options{TimeLimit: requested}); err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	got = worker.options()
+	if len(got) != 4 {
+		t.Fatalf("worker saw %d dispatches, want 4", len(got))
+	}
+	for i, o := range got[1:] {
+		if o.TimeLimit <= 0 || o.TimeLimit > requested {
+			t.Errorf("batch item %d: forwarded TimeLimit = %v, want in (0, %v]", i, o.TimeLimit, requested)
+		}
+	}
+}
+
+// TestCoordinatorForwardsColdLPFlag: the warm-start ablation flag must
+// survive the wire hop, or remote ablation campaigns silently measure
+// warm-start timings.
+func TestCoordinatorForwardsColdLPFlag(t *testing.T) {
+	worker := &recordingWorker{caps: 1}
+	c := newCoordinatorServer(t, worker)
+
+	p := rentmin.IllustratingExample()
+	p.Target = 70
+	if _, err := c.Solve(context.Background(), p, &client.Options{DisableLPWarmStart: true}); err != nil {
+		t.Fatalf("Solve cold: %v", err)
+	}
+	if _, err := c.Solve(context.Background(), p, nil); err != nil {
+		t.Fatalf("Solve warm: %v", err)
+	}
+	got := worker.options()
+	if len(got) != 2 {
+		t.Fatalf("worker saw %d dispatches, want 2", len(got))
+	}
+	if !got[0].DisableLPWarmStart {
+		t.Errorf("DisableLPWarmStart dropped on the dispatch path")
+	}
+	if got[1].DisableLPWarmStart {
+		t.Errorf("DisableLPWarmStart set without being requested")
+	}
+}

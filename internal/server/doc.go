@@ -66,4 +66,17 @@
 // http.Server.Shutdown to let them finish, then Server.Close to release
 // the solver pool. cmd/rentmind wires exactly that sequence to
 // SIGINT/SIGTERM.
+//
+// # Coordinator mode
+//
+// Config.SolverPool swaps the in-process pool for a pre-built one —
+// in practice the remote-backed fleet from rentmin/client.NewFleet
+// (wired by `rentmind -workers-endpoints`). The whole request path is
+// unchanged: admission, slots and leases work as above with Workers
+// defaulting to the fleet's summed capacity, and every solve a lease
+// holder submits is dispatched to a remote worker daemon instead of a
+// local goroutine. GET /v1/capacity is what coordinators use to
+// discover a worker's in-flight cap; /metrics additionally exports
+// per-worker health gauges. See docs/distributed.md for the topology
+// and failure semantics.
 package server

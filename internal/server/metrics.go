@@ -78,6 +78,9 @@ type gauges struct {
 	queueDepth int
 	inFlight   int
 	draining   bool
+	// fleet is the per-worker health of a remote-backed (coordinator)
+	// pool; nil on a plain worker daemon.
+	fleet []rentmin.WorkerStatus
 }
 
 // writeTo renders the Prometheus text exposition format.
@@ -153,6 +156,44 @@ func (m *metrics) writeTo(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# HELP rentmind_draining 1 while the server is shutting down.\n")
 	fmt.Fprintf(w, "# TYPE rentmind_draining gauge\n")
 	fmt.Fprintf(w, "rentmind_draining %d\n", draining)
+
+	if len(g.fleet) > 0 {
+		writeFleet(w, g.fleet)
+	}
+}
+
+// writeFleet renders the coordinator's per-worker health gauges: one
+// series per remote worker, labelled by its endpoint.
+func writeFleet(w io.Writer, fleet []rentmin.WorkerStatus) {
+	fmt.Fprintf(w, "# HELP rentmind_worker_up 1 while the remote worker is considered healthy (0 while it backs off after faults).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_worker_up gauge\n")
+	for _, ws := range fleet {
+		up := 0
+		if ws.Healthy {
+			up = 1
+		}
+		fmt.Fprintf(w, "rentmind_worker_up{worker=%q} %d\n", ws.Name, up)
+	}
+	fmt.Fprintf(w, "# HELP rentmind_worker_capacity The worker's discovered in-flight cap (its solver pool size).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_worker_capacity gauge\n")
+	for _, ws := range fleet {
+		fmt.Fprintf(w, "rentmind_worker_capacity{worker=%q} %d\n", ws.Name, ws.Capacity)
+	}
+	fmt.Fprintf(w, "# HELP rentmind_worker_inflight_solves Solves currently dispatched to the worker.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_worker_inflight_solves gauge\n")
+	for _, ws := range fleet {
+		fmt.Fprintf(w, "rentmind_worker_inflight_solves{worker=%q} %d\n", ws.Name, ws.InFlight)
+	}
+	fmt.Fprintf(w, "# HELP rentmind_worker_dispatches_total Solve dispatches handed to the worker (re-dispatches count per attempt).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_worker_dispatches_total counter\n")
+	for _, ws := range fleet {
+		fmt.Fprintf(w, "rentmind_worker_dispatches_total{worker=%q} %d\n", ws.Name, ws.Dispatched)
+	}
+	fmt.Fprintf(w, "# HELP rentmind_worker_faults_total Dispatches that ended in a worker fault (connection failure or exhausted transient retries) and were re-dispatched.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_worker_faults_total counter\n")
+	for _, ws := range fleet {
+		fmt.Fprintf(w, "rentmind_worker_faults_total{worker=%q} %d\n", ws.Name, ws.Faults)
+	}
 }
 
 // quantiles returns (p50, p99) over the window. Caller holds mu.

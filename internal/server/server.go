@@ -51,6 +51,14 @@ type Config struct {
 	DefaultTimeLimit, MaxTimeLimit time.Duration
 	// RetryAfter is the hint attached to 429 responses (0 = 1s).
 	RetryAfter time.Duration
+	// SolverPool, when non-nil, is a pre-built pool the server takes
+	// ownership of (Close closes it) instead of starting its own local
+	// one — the hook that turns a daemon into a coordinator: pass a
+	// remote-backed pool (rentmin/client.NewFleet over worker daemons)
+	// and every solve and batch item is dispatched across the fleet,
+	// with the workers' health exported on /metrics. Workers defaults to
+	// the pool's capacity.
+	SolverPool *rentmin.SolverPool
 }
 
 func (c Config) withDefaults() Config {
@@ -116,12 +124,20 @@ type Server struct {
 	inFlight atomic.Int64
 }
 
-// New builds a Server and starts its solver pool.
+// New builds a Server and starts its solver pool (or adopts the
+// pre-built one from Config.SolverPool).
 func New(cfg Config) *Server {
+	if cfg.SolverPool != nil && cfg.Workers <= 0 {
+		cfg.Workers = cfg.SolverPool.Workers()
+	}
 	cfg = cfg.withDefaults()
+	p := cfg.SolverPool
+	if p == nil {
+		p = rentmin.NewSolverPool(cfg.Workers)
+	}
 	s := &Server{
 		cfg:    cfg,
-		pool:   rentmin.NewSolverPool(cfg.Workers),
+		pool:   p,
 		mux:    http.NewServeMux(),
 		met:    newMetrics(),
 		slots:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
@@ -130,6 +146,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/capacity", s.handleCapacity)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -170,7 +187,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(sw, r)
 	endpoint := r.URL.Path
 	switch endpoint {
-	case "/v1/solve", "/v1/batch", "/healthz", "/metrics":
+	case "/v1/solve", "/v1/batch", "/v1/capacity", "/healthz", "/metrics":
 	default:
 		endpoint = "other"
 	}
@@ -278,6 +295,39 @@ func (s *Server) solveTimeLimit(ms int64) time.Duration {
 	return d
 }
 
+// solveOptions builds the per-solve options, translating the request
+// context's remaining deadline into an explicit SolveOptions.TimeLimit.
+// In-process the two are redundant (the context alone would stop the
+// search at the same moment), but a remote dispatch serializes only the
+// explicit limit onto the wire — without it a worker daemon would apply
+// its own default instead of the request's budget. The limit is shaved
+// by a small grace so the worker stops itself and ships its best
+// incumbent back before the coordinator's context cuts the connection.
+func (s *Server) solveOptions(ctx context.Context, coldLP bool) *rentmin.SolveOptions {
+	opts := &rentmin.SolveOptions{
+		Workers:            s.cfg.PerSolveWorkers,
+		DisableLPWarmStart: coldLP,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		grace := remaining / 10
+		if grace > 500*time.Millisecond {
+			grace = 500 * time.Millisecond
+		}
+		// Never emit a zero/negative limit: zero means "unlimited" in
+		// SolveOptions, the opposite of an expired deadline (which the
+		// context will enforce momentarily anyway).
+		if b := remaining - grace; b > 0 {
+			opts.TimeLimit = b
+		} else if remaining > 0 {
+			opts.TimeLimit = remaining
+		} else {
+			opts.TimeLimit = time.Millisecond
+		}
+	}
+	return opts
+}
+
 // --- handlers ----------------------------------------------------------------
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -312,7 +362,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeLimit(req.TimeLimitMs))
 	defer cancel()
-	sol, err := s.pool.SolveContext(ctx, p, &rentmin.SolveOptions{Workers: s.cfg.PerSolveWorkers})
+	sol, err := s.pool.SolveContext(ctx, p, s.solveOptions(ctx, req.DisableLPWarmStart))
 	if err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -423,7 +473,9 @@ func (s *Server) solveAll(ctx context.Context, problems []*rentmin.Problem) []it
 					results[i].err = err
 					continue // drain the remaining indexes fast
 				}
-				sol, err := s.pool.SolveContext(ctx, problems[i], &rentmin.SolveOptions{Workers: s.cfg.PerSolveWorkers})
+				// Options are rebuilt per item: the batch deadline is
+				// shared, so each later item forwards a smaller limit.
+				sol, err := s.pool.SolveContext(ctx, problems[i], s.solveOptions(ctx, false))
 				releaseLease()
 				results[i] = itemResult{sol: sol, err: err}
 			}
@@ -444,6 +496,18 @@ func itemError(err error) string {
 		return "not solved: request cancelled"
 	}
 	return err.Error()
+}
+
+// handleCapacity reports the daemon's static sizing: what a coordinator
+// needs to know to dispatch against this worker (most importantly the
+// in-flight cap — the solver pool size).
+func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, client.Capacity{
+		Workers:         s.cfg.Workers,
+		QueueCapacity:   s.cfg.QueueDepth,
+		MaxBatch:        s.cfg.MaxBatch,
+		PerSolveWorkers: s.cfg.PerSolveWorkers,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -469,6 +533,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		queueDepth: int(s.queued.Load()),
 		inFlight:   int(s.inFlight.Load()),
 		draining:   s.draining(),
+		fleet:      s.pool.WorkerStats(), // nil unless remote-backed
 	})
 }
 

@@ -1,0 +1,165 @@
+package rentmin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rentmin/internal/pool"
+)
+
+// RemoteWorker is one rentmind worker daemon as seen by a remote-backed
+// SolverPool: a unit of solve capacity reached over some transport.
+// rentmin/client.Worker implements it over the daemon's HTTP API; tests
+// implement it in-process.
+type RemoteWorker interface {
+	// Name identifies the worker in errors and metrics (its endpoint URL
+	// for an HTTP worker).
+	Name() string
+	// Capacity reports how many solves the worker can run concurrently —
+	// the pool never keeps more than this many in flight on it. An HTTP
+	// worker discovers it from GET /v1/capacity.
+	Capacity(ctx context.Context) (int, error)
+	// Solve runs one problem on the worker. An error wrapping a
+	// *WorkerFaultError marks the worker unhealthy: the pool re-dispatches
+	// the problem to another worker and backs this one off. Any other
+	// error is the problem's own failure and is returned to the caller.
+	Solve(ctx context.Context, p *Problem, opts *SolveOptions) (Solution, error)
+}
+
+// WorkerFaultError marks a remote solve failure as indicting the worker
+// rather than the problem: connection refused, a queue-overflow 429 that
+// outlived its retries, a draining 503. The dispatcher reacts by
+// re-dispatching the problem to a healthy worker and backing the faulted
+// worker off, so one dead worker degrades throughput, not correctness.
+type WorkerFaultError struct {
+	// Worker names the faulted worker (RemoteWorker.Name).
+	Worker string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *WorkerFaultError) Error() string {
+	return fmt.Sprintf("rentmin: worker %s faulted: %v", e.Worker, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *WorkerFaultError) Unwrap() error { return e.Err }
+
+// WorkerFault marks the error chain for the dispatcher (see
+// internal/pool.IsWorkerFault).
+func (e *WorkerFaultError) WorkerFault() bool { return true }
+
+// RemoteConfig tunes a remote-backed SolverPool's failure handling.
+type RemoteConfig struct {
+	// Backoff returns how long a worker sits out after its strike-th
+	// consecutive fault (strike counts from 1). Nil uses a deterministic
+	// exponential default (100ms · 2^(strike-1), capped at 5s);
+	// rentmin/client.Backoff supplies a jittered schedule from a seeded
+	// RNG.
+	Backoff func(strike int) time.Duration
+	// MaxAttempts bounds how many workers one problem may be dispatched
+	// to before its last fault is reported as the problem's error (zero:
+	// 3 per worker, at least 4).
+	MaxAttempts int
+}
+
+// WorkerStatus is a point-in-time snapshot of one remote worker's health
+// inside a remote-backed SolverPool, exported by the coordinator's
+// /metrics worker gauges.
+type WorkerStatus struct {
+	// Name identifies the worker; Capacity is its discovered in-flight cap.
+	Name     string
+	Capacity int
+	// InFlight counts solves currently dispatched to the worker;
+	// Dispatched, Succeeded and Faults are cumulative dispatch outcomes
+	// (a re-dispatched problem counts once per attempt).
+	InFlight   int
+	Dispatched int64
+	Succeeded  int64
+	Faults     int64
+	// Healthy is false while the worker is backing off after faults.
+	Healthy bool
+}
+
+// NewRemoteSolverPool builds a SolverPool whose capacity is a fleet of
+// rentmind workers instead of in-process goroutines: every solve pushed
+// through the pool is dispatched to a worker, and batch items spread
+// across the whole fleet. Capacities are discovered up front via
+// RemoteWorker.Capacity under ctx; a worker whose discovery fails makes
+// construction fail (start the fleet before the coordinator).
+//
+// The returned pool has the exact SolverPool API: SolveBatch returns
+// solutions by input index no matter which worker answered which item,
+// cancellation aborts queued and in-flight remote solves, and worker
+// faults re-dispatch (see WorkerFaultError). rentmin/client.NewFleet
+// wires this up over HTTP.
+func NewRemoteSolverPool(ctx context.Context, workers []RemoteWorker, cfg *RemoteConfig) (*SolverPool, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("rentmin: remote solver pool needs at least one worker")
+	}
+	specs := make([]pool.RemoteSpec, len(workers))
+	for i, w := range workers {
+		c, err := w.Capacity(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("rentmin: discover capacity of worker %s: %w", w.Name(), err)
+		}
+		if c < 1 {
+			c = 1
+		}
+		specs[i] = pool.RemoteSpec{Name: w.Name(), Capacity: c}
+	}
+	var pcfg pool.RemoteConfig
+	if cfg != nil {
+		pcfg.Backoff = cfg.Backoff
+		pcfg.MaxAttempts = cfg.MaxAttempts
+	}
+	rp, err := pool.NewRemote(specs, pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("rentmin: %w", err)
+	}
+	return &SolverPool{pool: rp, remote: workers}, nil
+}
+
+// Remote reports whether the pool dispatches to remote workers.
+func (p *SolverPool) Remote() bool { return p.remote != nil }
+
+// WorkerStats snapshots per-worker health of a remote-backed pool; it
+// returns nil for a local pool.
+func (p *SolverPool) WorkerStats() []WorkerStatus {
+	rp, ok := p.pool.(*pool.RemotePool)
+	if !ok {
+		return nil
+	}
+	stats := rp.Stats()
+	out := make([]WorkerStatus, len(stats))
+	for i, s := range stats {
+		out[i] = WorkerStatus{
+			Name:       s.Name,
+			Capacity:   s.Capacity,
+			InFlight:   s.InFlight,
+			Dispatched: s.Dispatched,
+			Succeeded:  s.Succeeded,
+			Faults:     s.Faults,
+			Healthy:    !s.BackingOff,
+		}
+	}
+	return out
+}
+
+// dispatch runs one solve on whatever backs the pool: in-process for a
+// local pool, the assigned remote worker for a remote pool. It must be
+// called from inside a pool task (the remote pool annotates the task
+// context with the worker assignment).
+func (p *SolverPool) dispatch(ctx context.Context, prob *Problem, opts *SolveOptions) (Solution, error) {
+	if p.remote == nil {
+		return SolveContext(ctx, prob, opts)
+	}
+	w, ok := pool.AssignedWorker(ctx)
+	if !ok || w < 0 || w >= len(p.remote) {
+		return Solution{}, errors.New("rentmin: remote dispatch outside a pool task")
+	}
+	return p.remote[w].Solve(ctx, prob, opts)
+}

@@ -1,0 +1,187 @@
+package rentmin_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rentmin"
+)
+
+// stubWorker is an in-process rentmin.RemoteWorker: it solves for real
+// (so costs can be cross-validated against the local backend) but can be
+// flipped into a dead state where every dispatch faults.
+type stubWorker struct {
+	name   string
+	cap    int
+	dead   atomic.Bool
+	solves atomic.Int64
+	capErr error
+}
+
+func (w *stubWorker) Name() string { return w.name }
+
+func (w *stubWorker) Capacity(ctx context.Context) (int, error) {
+	if w.capErr != nil {
+		return 0, w.capErr
+	}
+	return w.cap, nil
+}
+
+func (w *stubWorker) Solve(ctx context.Context, p *rentmin.Problem, opts *rentmin.SolveOptions) (rentmin.Solution, error) {
+	if w.dead.Load() {
+		return rentmin.Solution{}, &rentmin.WorkerFaultError{Worker: w.name, Err: errors.New("connection refused")}
+	}
+	sol, err := rentmin.SolveContext(ctx, p, opts)
+	if err != nil {
+		return rentmin.Solution{}, err
+	}
+	w.solves.Add(1)
+	return sol, nil
+}
+
+func remotePool(t *testing.T, workers ...rentmin.RemoteWorker) *rentmin.SolverPool {
+	t.Helper()
+	pool, err := rentmin.NewRemoteSolverPool(context.Background(), workers, &rentmin.RemoteConfig{
+		Backoff: func(int) time.Duration { return time.Millisecond },
+	})
+	if err != nil {
+		t.Fatalf("NewRemoteSolverPool: %v", err)
+	}
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+// TestRemoteSolverPoolMatchesLocal is the distribution acceptance
+// criterion at the API level: a batch through a remote-backed pool lands
+// the exact per-item costs of a local solve, in input order, and the
+// items genuinely spread across the fleet.
+func TestRemoteSolverPoolMatchesLocal(t *testing.T) {
+	problems := batchProblems(t)
+	want, err := rentmin.SolveBatch(problems, &rentmin.SolveOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("local batch: %v", err)
+	}
+
+	w0 := &stubWorker{name: "w0", cap: 2}
+	w1 := &stubWorker{name: "w1", cap: 2}
+	pool := remotePool(t, w0, w1)
+	if got, wantCap := pool.Workers(), 4; got != wantCap {
+		t.Errorf("fleet capacity = %d, want %d (discovered per worker)", got, wantCap)
+	}
+	if !pool.Remote() {
+		t.Errorf("pool does not report itself remote")
+	}
+
+	sols, err := pool.SolveBatch(problems, nil)
+	if err != nil {
+		t.Fatalf("remote batch: %v", err)
+	}
+	for i := range sols {
+		if sols[i].Alloc.Cost != want[i].Alloc.Cost {
+			t.Errorf("problem %d: remote cost %d != local cost %d", i, sols[i].Alloc.Cost, want[i].Alloc.Cost)
+		}
+		if !sols[i].Proven {
+			t.Errorf("problem %d: remote solve not proven", i)
+		}
+	}
+	if w0.solves.Load() == 0 || w1.solves.Load() == 0 {
+		t.Errorf("batch did not span the fleet: w0=%d w1=%d solves", w0.solves.Load(), w1.solves.Load())
+	}
+	if total := w0.solves.Load() + w1.solves.Load(); total != int64(len(problems)) {
+		t.Errorf("fleet solved %d items for a %d-problem batch", total, len(problems))
+	}
+}
+
+// TestRemoteSolverPoolSurvivesDeadWorker kills one worker and expects
+// the full, correct result set via re-dispatch — the coordinator-side
+// version of the CI distributed-smoke assertion.
+func TestRemoteSolverPoolSurvivesDeadWorker(t *testing.T) {
+	problems := batchProblems(t)
+	want, err := rentmin.SolveBatch(problems, &rentmin.SolveOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("local batch: %v", err)
+	}
+
+	w0 := &stubWorker{name: "w0", cap: 2}
+	w1 := &stubWorker{name: "w1", cap: 2}
+	w1.dead.Store(true) // dead from the start: every item it gets must re-dispatch
+	pool := remotePool(t, w0, w1)
+
+	sols, err := pool.SolveBatch(problems, nil)
+	if err != nil {
+		t.Fatalf("batch with dead worker: %v", err)
+	}
+	for i := range sols {
+		if sols[i].Alloc.Cost != want[i].Alloc.Cost {
+			t.Errorf("problem %d: cost %d != local cost %d", i, sols[i].Alloc.Cost, want[i].Alloc.Cost)
+		}
+	}
+	if w0.solves.Load() != int64(len(problems)) {
+		t.Errorf("healthy worker solved %d of %d items", w0.solves.Load(), len(problems))
+	}
+
+	stats := pool.WorkerStats()
+	if len(stats) != 2 {
+		t.Fatalf("WorkerStats returned %d entries, want 2", len(stats))
+	}
+	byName := map[string]rentmin.WorkerStatus{stats[0].Name: stats[0], stats[1].Name: stats[1]}
+	if byName["w1"].Faults == 0 {
+		t.Errorf("dead worker shows no faults: %+v", byName["w1"])
+	}
+	if byName["w0"].Succeeded != int64(len(problems)) {
+		t.Errorf("healthy worker stats: %+v", byName["w0"])
+	}
+}
+
+// TestRemoteSolverPoolSingleSolve routes SolveContext through the fleet.
+func TestRemoteSolverPoolSingleSolve(t *testing.T) {
+	w0 := &stubWorker{name: "w0", cap: 1}
+	pool := remotePool(t, w0)
+	p := rentmin.IllustratingExample()
+	p.Target = 70
+	sol, err := pool.SolveContext(context.Background(), p, nil)
+	if err != nil {
+		t.Fatalf("SolveContext: %v", err)
+	}
+	if sol.Alloc.Cost != 124 {
+		t.Errorf("cost = %d, want 124", sol.Alloc.Cost)
+	}
+	if w0.solves.Load() != 1 {
+		t.Errorf("worker solved %d problems, want 1", w0.solves.Load())
+	}
+}
+
+// TestRemoteSolverPoolCapacityDiscoveryFailure: a fleet member that
+// cannot report capacity fails construction, by name.
+func TestRemoteSolverPoolCapacityDiscoveryFailure(t *testing.T) {
+	w0 := &stubWorker{name: "w0", cap: 2}
+	w1 := &stubWorker{name: "w-broken", cap: 2, capErr: fmt.Errorf("dial tcp: connection refused")}
+	_, err := rentmin.NewRemoteSolverPool(context.Background(), []rentmin.RemoteWorker{w0, w1}, nil)
+	if err == nil {
+		t.Fatal("construction succeeded with unreachable worker")
+	}
+	if got := err.Error(); !strings.Contains(got, "w-broken") {
+		t.Errorf("error %q does not name the unreachable worker", got)
+	}
+}
+
+// TestWorkerFaultErrorChain pins the error chain the dispatcher relies on.
+func TestWorkerFaultErrorChain(t *testing.T) {
+	cause := errors.New("connection reset")
+	err := fmt.Errorf("rentmin: batch problem 3: %w", &rentmin.WorkerFaultError{Worker: "w0", Err: cause})
+	var wf *rentmin.WorkerFaultError
+	if !errors.As(err, &wf) || wf.Worker != "w0" {
+		t.Fatalf("WorkerFaultError lost in the chain: %v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("cause lost in the chain: %v", err)
+	}
+	if !wf.WorkerFault() {
+		t.Errorf("WorkerFault() = false")
+	}
+}

@@ -234,8 +234,18 @@ func SolveContext(ctx context.Context, p *Problem, opts *SolveOptions) (Solution
 //		sols, err := pool.SolveBatch(batch, nil)
 //		...
 //	}
+//
+// The same API can be backed by a fleet of rentmind worker daemons
+// instead of in-process goroutines: NewRemoteSolverPool (remote.go)
+// dispatches every solve across remote workers with per-worker capacity
+// caps, fault re-dispatch and deterministic result ordering. Batch
+// semantics, cancellation and partial results are identical either way.
 type SolverPool struct {
-	pool *pool.Pool
+	pool pool.Pool
+	// remote, when non-nil, routes every solve to a fleet of rentmind
+	// worker daemons instead of in-process goroutines; see
+	// NewRemoteSolverPool (remote.go).
+	remote []RemoteWorker
 }
 
 // NewSolverPool starts a pool that solves up to workers problems
@@ -260,9 +270,9 @@ func (p *SolverPool) Close() { p.pool.Close() }
 // Workers: 1).
 func (p *SolverPool) SolveContext(ctx context.Context, prob *Problem, opts *SolveOptions) (Solution, error) {
 	var sol Solution
-	err := p.pool.RunContext(ctx, 1, func(int) error {
+	err := p.pool.RunContext(ctx, 1, func(ctx context.Context, _ int) error {
 		var err error
-		sol, err = SolveContext(ctx, prob, opts)
+		sol, err = p.dispatch(ctx, prob, opts)
 		return err
 	})
 	return sol, err
@@ -271,8 +281,9 @@ func (p *SolverPool) SolveContext(ctx context.Context, prob *Problem, opts *Solv
 // SolveBatch solves every problem at its own Target on the pool and
 // returns the solutions in input order. Each individual solve runs the
 // sequential branch-and-bound (cross-problem parallelism already
-// saturates the pool); TimeLimit applies per problem. On failure the
-// error of the lowest-index failing problem is returned.
+// saturates the pool; a remote worker daemon applies its own configured
+// per-solve parallelism instead); TimeLimit applies per problem. On
+// failure the error of the lowest-index failing problem is returned.
 func (p *SolverPool) SolveBatch(problems []*Problem, opts *SolveOptions) ([]Solution, error) {
 	out, err := p.SolveBatchContext(context.Background(), problems, opts)
 	if err != nil {
@@ -302,8 +313,8 @@ func (p *SolverPool) SolveBatchContext(ctx context.Context, problems []*Problem,
 		each.DisableLPWarmStart = opts.DisableLPWarmStart
 	}
 	out := make([]Solution, len(problems))
-	err := p.pool.RunContext(ctx, len(problems), func(i int) error {
-		sol, err := SolveContext(ctx, problems[i], &each)
+	err := p.pool.RunContext(ctx, len(problems), func(ctx context.Context, i int) error {
+		sol, err := p.dispatch(ctx, problems[i], &each)
 		if err != nil {
 			return fmt.Errorf("rentmin: batch problem %d: %w", i, err)
 		}
