@@ -43,8 +43,10 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -139,12 +141,35 @@ func main() {
 // dialFleet builds the remote-backed solver pool, retrying capacity
 // discovery until every worker answered or the wait budget is spent —
 // coordinator and workers usually boot together, so the first probes may
-// land before the workers listen.
+// land before the workers listen. Configuration errors (an endpoint list
+// that trims to nothing, a malformed URL) are permanent and fail
+// immediately; only discovery failures are worth the retry budget.
 func dialFleet(endpoints []string, wait time.Duration) (*rentmin.SolverPool, error) {
+	var cleaned []string
+	for _, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			continue
+		}
+		u, err := url.Parse(ep)
+		if err != nil {
+			return nil, fmt.Errorf("invalid worker endpoint %q: %v", ep, err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return nil, fmt.Errorf("invalid worker endpoint %q: need an http(s) base URL", ep)
+		}
+		if u.Host == "" {
+			return nil, fmt.Errorf("invalid worker endpoint %q: missing host", ep)
+		}
+		cleaned = append(cleaned, ep)
+	}
+	if len(cleaned) == 0 {
+		return nil, errors.New("-workers-endpoints lists no worker endpoints")
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), wait)
 	defer cancel()
 	for {
-		fleet, err := client.NewFleet(ctx, endpoints, nil)
+		fleet, err := client.NewFleet(ctx, cleaned, nil)
 		if err == nil {
 			return fleet, nil
 		}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -91,6 +93,69 @@ func TestCoordinatorForwardsDeadlineToWorkers(t *testing.T) {
 	for i, o := range got[1:] {
 		if o.TimeLimit <= 0 || o.TimeLimit > requested {
 			t.Errorf("batch item %d: forwarded TimeLimit = %v, want in (0, %v]", i, o.TimeLimit, requested)
+		}
+	}
+}
+
+// TestLocalSolveOptionsLeaveDeadlineToContext: a daemon solving
+// in-process must not fabricate a TimeLimit from the context deadline —
+// the context alone governs the stop, so items still queued when a
+// batch deadline fires surface per-item deadline errors instead of
+// squeezing in as near-zero-budget pseudo-solves.
+func TestLocalSolveOptionsLeaveDeadlineToContext(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	opts, err := s.solveOptions(ctx, false)
+	if err != nil {
+		t.Fatalf("solveOptions: %v", err)
+	}
+	if opts.TimeLimit != 0 {
+		t.Errorf("local solveOptions fabricated TimeLimit = %v, want 0 (context governs)", opts.TimeLimit)
+	}
+}
+
+// TestCoordinatorExpiredDeadlineFailsFast: a budget already spent when
+// the options are built must fail the solve instead of dispatching it
+// over the wire with a fabricated near-zero limit.
+func TestCoordinatorExpiredDeadlineFailsFast(t *testing.T) {
+	worker := &recordingWorker{caps: 1}
+	pool, err := rentmin.NewRemoteSolverPool(context.Background(), []rentmin.RemoteWorker{worker}, nil)
+	if err != nil {
+		t.Fatalf("NewRemoteSolverPool: %v", err)
+	}
+	s, _ := newTestServer(t, Config{SolverPool: pool})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := s.solveOptions(ctx, false); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("solveOptions on an expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestCoordinatorWorkerMetricsIncludeSuccesses: per-worker health rate
+// (fault-free dispatches / dispatches) must be derivable from /metrics —
+// dispatches and faults alone don't expose it, because cancellation-time
+// failures count in neither series.
+func TestCoordinatorWorkerMetricsIncludeSuccesses(t *testing.T) {
+	worker := &recordingWorker{caps: 1}
+	c := newCoordinatorServer(t, worker)
+
+	p := rentmin.IllustratingExample()
+	p.Target = 70
+	if _, err := c.Solve(context.Background(), p, nil); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	text, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		`rentmind_worker_dispatches_total{worker="recorder"} 1`,
+		`rentmind_worker_successes_total{worker="recorder"} 1`,
+		`rentmind_worker_faults_total{worker="recorder"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
 	}
 }

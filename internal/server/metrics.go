@@ -189,6 +189,11 @@ func writeFleet(w io.Writer, fleet []rentmin.WorkerStatus) {
 	for _, ws := range fleet {
 		fmt.Fprintf(w, "rentmind_worker_dispatches_total{worker=%q} %d\n", ws.Name, ws.Dispatched)
 	}
+	fmt.Fprintf(w, "# HELP rentmind_worker_successes_total Dispatches the worker answered without a fault (a task-level error returned to the caller still counts: it follows the problem, not the worker).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_worker_successes_total counter\n")
+	for _, ws := range fleet {
+		fmt.Fprintf(w, "rentmind_worker_successes_total{worker=%q} %d\n", ws.Name, ws.Succeeded)
+	}
 	fmt.Fprintf(w, "# HELP rentmind_worker_faults_total Dispatches that ended in a worker fault (connection failure or exhausted transient retries) and were re-dispatched.\n")
 	fmt.Fprintf(w, "# TYPE rentmind_worker_faults_total counter\n")
 	for _, ws := range fleet {

@@ -295,37 +295,36 @@ func (s *Server) solveTimeLimit(ms int64) time.Duration {
 	return d
 }
 
-// solveOptions builds the per-solve options, translating the request
-// context's remaining deadline into an explicit SolveOptions.TimeLimit.
-// In-process the two are redundant (the context alone would stop the
-// search at the same moment), but a remote dispatch serializes only the
-// explicit limit onto the wire — without it a worker daemon would apply
-// its own default instead of the request's budget. The limit is shaved
-// by a small grace so the worker stops itself and ships its best
+// solveOptions builds the per-solve options. In-process the request
+// context alone governs the deadline — the search stops mid-round when
+// it fires, and items still queued surface context errors, so no
+// explicit TimeLimit is fabricated. A remote dispatch serializes only an
+// explicit limit onto the wire: without one a worker daemon would apply
+// its own default instead of the request's budget. So in coordinator
+// mode the context's remaining deadline becomes SolveOptions.TimeLimit,
+// shaved by a small grace so the worker stops itself and ships its best
 // incumbent back before the coordinator's context cuts the connection.
-func (s *Server) solveOptions(ctx context.Context, coldLP bool) *rentmin.SolveOptions {
+// An already-expired deadline fails fast instead of dispatching.
+func (s *Server) solveOptions(ctx context.Context, coldLP bool) (*rentmin.SolveOptions, error) {
 	opts := &rentmin.SolveOptions{
 		Workers:            s.cfg.PerSolveWorkers,
 		DisableLPWarmStart: coldLP,
 	}
+	if !s.pool.Remote() {
+		return opts, nil
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return nil, context.DeadlineExceeded
+		}
 		grace := remaining / 10
 		if grace > 500*time.Millisecond {
 			grace = 500 * time.Millisecond
 		}
-		// Never emit a zero/negative limit: zero means "unlimited" in
-		// SolveOptions, the opposite of an expired deadline (which the
-		// context will enforce momentarily anyway).
-		if b := remaining - grace; b > 0 {
-			opts.TimeLimit = b
-		} else if remaining > 0 {
-			opts.TimeLimit = remaining
-		} else {
-			opts.TimeLimit = time.Millisecond
-		}
+		opts.TimeLimit = remaining - grace
 	}
-	return opts
+	return opts, nil
 }
 
 // --- handlers ----------------------------------------------------------------
@@ -362,7 +361,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeLimit(req.TimeLimitMs))
 	defer cancel()
-	sol, err := s.pool.SolveContext(ctx, p, s.solveOptions(ctx, req.DisableLPWarmStart))
+	var sol rentmin.Solution
+	opts, err := s.solveOptions(ctx, req.DisableLPWarmStart)
+	if err == nil {
+		sol, err = s.pool.SolveContext(ctx, p, opts)
+	}
 	if err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -474,8 +477,16 @@ func (s *Server) solveAll(ctx context.Context, problems []*rentmin.Problem) []it
 					continue // drain the remaining indexes fast
 				}
 				// Options are rebuilt per item: the batch deadline is
-				// shared, so each later item forwards a smaller limit.
-				sol, err := s.pool.SolveContext(ctx, problems[i], s.solveOptions(ctx, false))
+				// shared, so in coordinator mode each later item forwards
+				// a smaller remaining limit (and an exhausted budget fails
+				// the item instead of dispatching it).
+				opts, err := s.solveOptions(ctx, false)
+				if err != nil {
+					releaseLease()
+					results[i].err = err
+					continue
+				}
+				sol, err := s.pool.SolveContext(ctx, problems[i], opts)
 				releaseLease()
 				results[i] = itemResult{sol: sol, err: err}
 			}
