@@ -12,10 +12,13 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -173,6 +176,114 @@ func (c *Client) Capacity(ctx context.Context) (Capacity, error) {
 		return cap, fmt.Errorf("rentmind: decode capacity: %w", err)
 	}
 	return cap, nil
+}
+
+// ProblemHash canonically encodes a problem for the content-addressed
+// cache and returns its reference hash with the exact document bytes to
+// upload. The canonical form zeroes target_throughput — the target
+// travels in each ProblemRef instead — so every solve of the same
+// instance at a different target shares one cached document. Upload the
+// returned bytes verbatim: the daemon verifies the hash against the
+// bytes it receives.
+func ProblemHash(p *rentmin.Problem) (string, json.RawMessage, error) {
+	canon := *p
+	canon.Target = 0
+	var buf bytes.Buffer
+	if err := rentmin.WriteProblem(&buf, &canon); err != nil {
+		return "", nil, fmt.Errorf("encode problem: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), buf.Bytes(), nil
+}
+
+// UploadProblem stores a problem document in the daemon's
+// content-addressed cache via PUT /v1/problems/{hash}. doc must be the
+// exact bytes hash was computed over (use ProblemHash); a mismatch is
+// rejected with 400. Uploading an already-cached hash is a cheap no-op.
+func (c *Client) UploadProblem(ctx context.Context, hash string, doc json.RawMessage) error {
+	body, status, hdr, err := c.doFull(ctx, http.MethodPut, "/v1/problems/"+hash, doc)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK && status != http.StatusCreated {
+		return apiError(status, body, hdr)
+	}
+	return nil
+}
+
+// SolveRef is Solve for a problem already uploaded to the daemon's
+// cache: it submits the reference hash plus the target to solve at. A
+// daemon that no longer holds the hash answers HTTP 412 (surfaced as
+// *APIError); re-upload with UploadProblem and retry.
+func (c *Client) SolveRef(ctx context.Context, hash string, target int, opts *Options) (*Solution, error) {
+	req := SolveRequest{ProblemRef: &ProblemRef{Hash: hash, Target: &target}}
+	if opts != nil {
+		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
+		req.DisableLPWarmStart = opts.DisableLPWarmStart
+	}
+	var sol Solution
+	if err := c.post(ctx, "/v1/solve", req, &sol); err != nil {
+		return nil, err
+	}
+	return &sol, nil
+}
+
+// SolveBatchRef is SolveBatch over cached problem references: every item
+// resolves from the daemon's content-addressed cache at its own target.
+// One missing hash fails the whole batch with HTTP 412.
+func (c *Client) SolveBatchRef(ctx context.Context, refs []ProblemRef, opts *Options) ([]Solution, error) {
+	req := BatchRequest{ProblemRefs: refs}
+	if opts != nil {
+		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
+	}
+	var resp BatchResponse
+	if err := c.post(ctx, "/v1/batch", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Solutions) != len(refs) {
+		return nil, fmt.Errorf("rentmind: batch returned %d solutions for %d refs", len(resp.Solutions), len(refs))
+	}
+	return resp.Solutions, nil
+}
+
+// RegisterWorker announces a worker endpoint to a coordinator's
+// POST /v1/workers and returns the fleet after the registration took
+// effect. Worker daemons call it on an interval (see cmd/rentmind
+// -register): registration is idempotent and revives evicted members.
+func (c *Client) RegisterWorker(ctx context.Context, endpoint string) (FleetResponse, error) {
+	var fleet FleetResponse
+	err := c.post(ctx, "/v1/workers", RegisterWorkerRequest{Endpoint: endpoint}, &fleet)
+	return fleet, err
+}
+
+// FleetWorkers lists a coordinator's fleet via GET /v1/workers.
+func (c *Client) FleetWorkers(ctx context.Context) (FleetResponse, error) {
+	var fleet FleetResponse
+	body, status, err := c.do(ctx, http.MethodGet, "/v1/workers", nil)
+	if err != nil {
+		return fleet, err
+	}
+	if status != http.StatusOK {
+		return fleet, apiError(status, body, nil)
+	}
+	if err := json.Unmarshal(body, &fleet); err != nil {
+		return fleet, fmt.Errorf("rentmind: decode fleet: %w", err)
+	}
+	return fleet, nil
+}
+
+// DeregisterWorker removes a worker from a coordinator's fleet via
+// DELETE /v1/workers?endpoint=...; queued work re-routes to the
+// remaining members.
+func (c *Client) DeregisterWorker(ctx context.Context, endpoint string) error {
+	body, status, err := c.do(ctx, http.MethodDelete, "/v1/workers?endpoint="+url.QueryEscape(endpoint), nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return apiError(status, body, nil)
+	}
+	return nil
 }
 
 // Metrics returns the raw Prometheus-style text of GET /metrics.

@@ -11,13 +11,33 @@ import (
 // external programs can name them: the server imports them back, which
 // guarantees client and daemon can never drift apart.
 
+// ProblemRef names a problem document already uploaded to the daemon's
+// content-addressed cache (PUT /v1/problems/{hash}) instead of inlining
+// it: a sweep of 1000 targets over one instance ships the document once
+// and 1000 tiny refs. A daemon that no longer holds the hash (LRU
+// eviction, restart) rejects the request with HTTP 412; the caller
+// re-uploads and retries (rentmin/client.Worker does this
+// automatically).
+type ProblemRef struct {
+	// Hash is the lowercase hex SHA-256 of the uploaded document bytes.
+	Hash string `json:"hash"`
+	// Target, when non-nil, patches the cached document's
+	// target_throughput for this solve. Cached documents are canonically
+	// stored with target 0, so refs carry the target explicitly.
+	Target *int `json:"target,omitempty"`
+}
+
 // SolveRequest is the body of POST /v1/solve.
 type SolveRequest struct {
 	// Problem is one MinCost instance in the rentmin JSON schema (the
 	// same document rentmin.ReadProblem accepts). The daemon decodes it
 	// with the fuzz-hardened core ingestion: unknown fields and invalid
-	// instances are rejected with 400.
-	Problem json.RawMessage `json:"problem"`
+	// instances are rejected with 400. Exactly one of Problem and
+	// ProblemRef must be set.
+	Problem json.RawMessage `json:"problem,omitempty"`
+	// ProblemRef resolves the problem from the daemon's content-addressed
+	// cache instead of an inline document.
+	ProblemRef *ProblemRef `json:"problem_ref,omitempty"`
 	// Target, when non-nil, overrides the problem's target_throughput.
 	Target *int `json:"target,omitempty"`
 	// TimeLimitMs bounds the solve wall clock in milliseconds. Zero uses
@@ -36,7 +56,12 @@ type SolveRequest struct {
 // BatchRequest is the body of POST /v1/batch.
 type BatchRequest struct {
 	// Problems are the instances to solve, each at its own target.
-	Problems []json.RawMessage `json:"problems"`
+	// Exactly one of Problems and ProblemRefs must be non-empty.
+	Problems []json.RawMessage `json:"problems,omitempty"`
+	// ProblemRefs resolves every item from the daemon's content-addressed
+	// cache (see ProblemRef); one missing hash fails the whole batch with
+	// HTTP 412 before any item is solved.
+	ProblemRefs []ProblemRef `json:"problem_refs,omitempty"`
 	// TimeLimitMs bounds the whole batch in milliseconds (zero = daemon
 	// default, clamped to the daemon maximum). When it expires, finished
 	// problems keep their solutions, in-flight searches stop with their
@@ -109,6 +134,43 @@ type Health struct {
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
 	InFlight   int `json:"in_flight"`
+}
+
+// RegisterWorkerRequest is the body of POST /v1/workers: a worker daemon
+// announcing itself to a coordinator. Registration is idempotent — a
+// worker re-announcing refreshes its capacity, and an evicted worker
+// rejoins with clean health — so workers simply re-register on an
+// interval.
+type RegisterWorkerRequest struct {
+	// Endpoint is the worker's base URL as the coordinator should dial it
+	// (e.g. "http://worker-3:8080").
+	Endpoint string `json:"endpoint"`
+}
+
+// FleetWorker is one fleet member in a GET /v1/workers response: the
+// wire form of the coordinator's per-worker health snapshot.
+type FleetWorker struct {
+	// Endpoint is the worker's base URL (its dispatcher name).
+	Endpoint string `json:"endpoint"`
+	// Capacity is the worker's discovered in-flight cap.
+	Capacity int `json:"capacity"`
+	// InFlight counts solves currently dispatched to the worker.
+	InFlight int `json:"in_flight"`
+	// Dispatched/Succeeded/Faults are cumulative dispatch outcomes.
+	Dispatched int64 `json:"dispatched"`
+	Succeeded  int64 `json:"succeeded"`
+	Faults     int64 `json:"faults"`
+	// Healthy is false while the worker backs off after faults or has
+	// been removed; Removed marks members that left the fleet (manual
+	// removal or strike eviction).
+	Healthy bool `json:"healthy"`
+	Removed bool `json:"removed"`
+}
+
+// FleetResponse is the body of GET /v1/workers and of a successful
+// POST /v1/workers (the fleet after the registration took effect).
+type FleetResponse struct {
+	Workers []FleetWorker `json:"workers"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

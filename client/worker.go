@@ -7,10 +7,17 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"rentmin"
 )
+
+// knownHashLimit bounds each Worker's memory of which problem hashes its
+// daemon holds. The set is only an optimization — a stale entry costs
+// one 412 round trip, a dropped one costs one redundant upload — so on
+// overflow the whole set is simply discarded.
+const knownHashLimit = 4096
 
 // Worker adapts a Client into a rentmin.RemoteWorker, so a rentmind
 // daemon can serve as one unit of capacity inside a remote-backed
@@ -19,10 +26,28 @@ import (
 // hint via Retry — and only once those retries are exhausted, or the
 // connection itself fails, does it report a rentmin.WorkerFaultError so
 // the dispatcher re-routes the problem to a healthier worker.
+//
+// Dispatches are content-addressed: each solve uploads the canonical
+// problem document to the daemon's cache once (PUT /v1/problems/{hash})
+// and thereafter sends only the hash plus the target, so sweeping one
+// instance across many targets ships the document a single time. A 412
+// from a daemon that evicted (or restarted away) the hash triggers
+// re-upload and an immediate retry.
 type Worker struct {
 	c        *Client
 	retry    *Backoff
 	attempts int
+
+	mu    sync.Mutex
+	known map[string]struct{}
+	// uploading deduplicates concurrent uploads of one hash: a batch
+	// fanning the same instance across this worker's seats must ship the
+	// document once, not once per seat.
+	uploading map[string]chan struct{}
+	// inlineOnly is set when the daemon demonstrably lacks the cache
+	// endpoints (an older build); the worker then falls back to inline
+	// problem documents for its lifetime.
+	inlineOnly bool
 }
 
 // NewWorker wraps a Client as fleet capacity. retry may be nil (default
@@ -35,7 +60,72 @@ func NewWorker(c *Client, retry *Backoff, attempts int) *Worker {
 	if attempts <= 0 {
 		attempts = 3
 	}
-	return &Worker{c: c, retry: retry, attempts: attempts}
+	return &Worker{
+		c: c, retry: retry, attempts: attempts,
+		known:     make(map[string]struct{}),
+		uploading: make(map[string]chan struct{}),
+	}
+}
+
+func (w *Worker) markKnownLocked(hash string) {
+	if len(w.known) >= knownHashLimit {
+		w.known = make(map[string]struct{})
+	}
+	w.known[hash] = struct{}{}
+}
+
+// ensureUploaded guarantees the daemon holds doc under hash. Concurrent
+// callers for the same hash are single-flighted: one uploads, the rest
+// wait and recheck — so a sweep dispatching one instance across every
+// seat of this worker still uploads exactly once.
+func (w *Worker) ensureUploaded(ctx context.Context, hash string, doc []byte) error {
+	for {
+		w.mu.Lock()
+		if _, ok := w.known[hash]; ok {
+			w.mu.Unlock()
+			return nil
+		}
+		if ch, ok := w.uploading[hash]; ok {
+			w.mu.Unlock()
+			select {
+			case <-ch:
+				continue // the uploader finished (or failed); recheck
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		ch := make(chan struct{})
+		w.uploading[hash] = ch
+		w.mu.Unlock()
+
+		err := w.c.UploadProblem(ctx, hash, doc)
+		w.mu.Lock()
+		delete(w.uploading, hash)
+		if err == nil {
+			w.markKnownLocked(hash)
+		}
+		w.mu.Unlock()
+		close(ch)
+		return err
+	}
+}
+
+func (w *Worker) forget(hash string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.known, hash)
+}
+
+func (w *Worker) refsDisabled() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inlineOnly
+}
+
+func (w *Worker) disableRefs() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.inlineOnly = true
 }
 
 // Name implements rentmin.RemoteWorker with the daemon's base URL.
@@ -52,7 +142,10 @@ func (w *Worker) Capacity(ctx context.Context) (int, error) {
 	return info.Workers, nil
 }
 
-// Solve implements rentmin.RemoteWorker over POST /v1/solve.
+// Solve implements rentmin.RemoteWorker over the daemon's solve API,
+// content-addressed: upload-once via PUT /v1/problems/{hash}, then
+// POST /v1/solve with a problem_ref. Daemons without the cache
+// endpoints fall back to inline documents.
 func (w *Worker) Solve(ctx context.Context, p *rentmin.Problem, opts *rentmin.SolveOptions) (rentmin.Solution, error) {
 	copts := &Options{}
 	if opts != nil {
@@ -61,6 +154,49 @@ func (w *Worker) Solve(ctx context.Context, p *rentmin.Problem, opts *rentmin.So
 		// opts.Workers is deliberately not forwarded: the worker daemon's
 		// own -per-solve-workers decides its inner parallelism.
 	}
+	hash, doc, hashErr := ProblemHash(p)
+	if hashErr != nil || w.refsDisabled() {
+		return w.solveInline(ctx, p, copts)
+	}
+	var sol *Solution
+	err := Retry(ctx, w.retry, w.attempts, func() error {
+		var err error
+		sol, err = w.solveRef(ctx, hash, doc, p.Target, copts)
+		return err
+	})
+	if err != nil {
+		if refsUnsupported(err) {
+			w.disableRefs()
+			return w.solveInline(ctx, p, copts)
+		}
+		return rentmin.Solution{}, w.classify(ctx, err)
+	}
+	return sol.ToSolution()
+}
+
+// solveRef is one cache-addressed solve attempt: ensure the daemon holds
+// the document, then solve by reference. A 412 — the daemon evicted the
+// hash between our upload and the solve (LRU pressure or a restart) —
+// re-uploads and retries the solve once within the same attempt, so
+// eviction costs a round trip, not a worker fault.
+func (w *Worker) solveRef(ctx context.Context, hash string, doc []byte, target int, copts *Options) (*Solution, error) {
+	if err := w.ensureUploaded(ctx, hash, doc); err != nil {
+		return nil, err
+	}
+	sol, err := w.c.SolveRef(ctx, hash, target, copts)
+	if isStatus(err, http.StatusPreconditionFailed) {
+		w.forget(hash)
+		if uerr := w.ensureUploaded(ctx, hash, doc); uerr != nil {
+			return nil, uerr
+		}
+		sol, err = w.c.SolveRef(ctx, hash, target, copts)
+	}
+	return sol, err
+}
+
+// solveInline is the pre-cache dispatch path: the full problem document
+// on every solve.
+func (w *Worker) solveInline(ctx context.Context, p *rentmin.Problem, copts *Options) (rentmin.Solution, error) {
 	var sol *Solution
 	err := Retry(ctx, w.retry, w.attempts, func() error {
 		var err error
@@ -71,6 +207,24 @@ func (w *Worker) Solve(ctx context.Context, p *rentmin.Problem, opts *rentmin.So
 		return rentmin.Solution{}, w.classify(ctx, err)
 	}
 	return sol.ToSolution()
+}
+
+// isStatus reports whether err is an *APIError with the given HTTP
+// status.
+func isStatus(err error, status int) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == status
+}
+
+// refsUnsupported recognizes a daemon predating the content-addressed
+// cache: its mux 404s the PUT, or its strict request decoding rejects
+// the unknown problem_ref field with a 400 naming it.
+func refsUnsupported(err error) bool {
+	if isStatus(err, http.StatusNotFound) || isStatus(err, http.StatusMethodNotAllowed) || isStatus(err, http.StatusNotImplemented) {
+		return true
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusBadRequest && strings.Contains(ae.Message, "problem_ref")
 }
 
 // classify decides whether a solve failure indicts the worker (wrapped
@@ -122,7 +276,7 @@ func (s *Solution) ToSolution() (rentmin.Solution, error) {
 	}, nil
 }
 
-// FleetConfig tunes NewFleet.
+// FleetConfig tunes NewFleet and NewElasticFleet.
 type FleetConfig struct {
 	// HTTPClient is used for every worker (nil = http.DefaultClient).
 	HTTPClient *http.Client
@@ -135,36 +289,79 @@ type FleetConfig struct {
 	RetryAttempts int
 	// MaxAttempts bounds how many workers one problem may be dispatched
 	// to before its last fault is reported as its error (0 = 3 per
-	// worker, at least 4).
+	// worker, at least 4, tracking the fleet as it grows and shrinks).
 	MaxAttempts int
+	// EvictStrikes, when positive, evicts a fleet member once its
+	// consecutive strikes (dispatch faults plus failed health probes)
+	// reach the threshold; it rejoins with clean health by re-registering.
+	// Zero never evicts.
+	EvictStrikes int
 }
 
-// NewFleet builds a remote-backed rentmin.SolverPool over rentmind
-// daemons at the given base URLs: the coordinator side of the
-// distributed solver pool. It discovers each worker's in-flight cap from
-// GET /v1/capacity under ctx (start the workers first), and returns a
-// pool with the standard SolverPool semantics — batch results ordered by
-// input index, cancellation aborting queued and in-flight remote solves,
-// and faulted workers backed off with their items re-dispatched.
-func NewFleet(ctx context.Context, endpoints []string, cfg *FleetConfig) (*rentmin.SolverPool, error) {
+// WorkerDialer turns a worker base URL into the transport the
+// coordinator dispatches over. NewElasticFleet returns one sharing the
+// fleet's backoff schedule and HTTP client; internal/server calls it
+// when a worker registers via POST /v1/workers.
+type WorkerDialer func(endpoint string) rentmin.RemoteWorker
+
+// NewElasticFleet builds a remote-backed rentmin.SolverPool whose
+// membership changes at runtime, plus the WorkerDialer that admits new
+// members: the coordinator side of an autoscaled worker deployment.
+//
+// Every seed endpoint is dialed under ctx and added to the fleet; a seed
+// that answers 503 on /v1/capacity is skipped (it is draining — it
+// would die under the coordinator moments later), while any other
+// discovery failure fails construction so boot-time retry loops keep
+// their "wait until the fleet is up" semantics. seeds may be empty: the
+// fleet then starts empty and fills as workers register.
+func NewElasticFleet(ctx context.Context, seeds []string, cfg *FleetConfig) (*rentmin.SolverPool, WorkerDialer, error) {
 	var fc FleetConfig
 	if cfg != nil {
 		fc = *cfg
 	}
 	retry := NewBackoff(fc.Seed)
-	var workers []rentmin.RemoteWorker
-	for _, ep := range endpoints {
+	dial := func(endpoint string) rentmin.RemoteWorker {
+		return NewWorker(NewWithHTTPClient(endpoint, fc.HTTPClient), retry, fc.RetryAttempts)
+	}
+	pool := rentmin.NewElasticSolverPool(&rentmin.RemoteConfig{
+		Backoff:      retry.Delay,
+		MaxAttempts:  fc.MaxAttempts,
+		EvictStrikes: fc.EvictStrikes,
+	})
+	for _, ep := range seeds {
 		ep = strings.TrimSpace(ep)
 		if ep == "" {
 			continue
 		}
-		workers = append(workers, NewWorker(NewWithHTTPClient(ep, fc.HTTPClient), retry, fc.RetryAttempts))
+		if _, err := pool.AddRemoteWorker(ctx, dial(ep)); err != nil {
+			if isStatus(err, http.StatusServiceUnavailable) {
+				continue // draining: enrolling it would hand work to a dying daemon
+			}
+			pool.Close()
+			return nil, nil, err
+		}
 	}
-	if len(workers) == 0 {
+	return pool, WorkerDialer(dial), nil
+}
+
+// NewFleet builds a remote-backed rentmin.SolverPool over rentmind
+// daemons at the given base URLs: the coordinator side of the
+// distributed solver pool. It discovers each worker's in-flight cap from
+// GET /v1/capacity under ctx (start the workers first; a draining
+// worker is skipped rather than enrolled), and returns a pool with the
+// standard SolverPool semantics — batch results ordered by input index,
+// cancellation aborting queued and in-flight remote solves, and faulted
+// workers backed off with their items re-dispatched. The fleet remains
+// elastic underneath: rentmin.SolverPool.AddRemoteWorker admits later
+// members.
+func NewFleet(ctx context.Context, endpoints []string, cfg *FleetConfig) (*rentmin.SolverPool, error) {
+	pool, _, err := NewElasticFleet(ctx, endpoints, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(pool.WorkerStats()) == 0 {
+		pool.Close()
 		return nil, errors.New("rentmind: fleet needs at least one worker endpoint")
 	}
-	return rentmin.NewRemoteSolverPool(ctx, workers, &rentmin.RemoteConfig{
-		Backoff:     retry.Delay,
-		MaxAttempts: fc.MaxAttempts,
-	})
+	return pool, nil
 }

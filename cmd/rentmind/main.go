@@ -9,28 +9,49 @@
 //	         [-max-graphs 64] [-max-types 256] [-max-tasks 8192]
 //	         [-max-target 1000000] [-max-batch 64] [-max-body 16777216]
 //	         [-default-time-limit 10s] [-max-time-limit 60s]
-//	         [-shutdown-grace 30s]
-//	         [-workers-endpoints http://w1:8080,http://w2:8080 [-workers-wait 15s]]
+//	         [-shutdown-grace 30s] [-problem-cache 256]
+//	         [-coordinator] [-workers-endpoints http://w1:8080,http://w2:8080]
+//	         [-workers-wait 15s] [-evict-strikes 3] [-health-interval 5s]
+//	         [-register http://coord:8080 -advertise http://me:8080
+//	          [-register-interval 15s]]
 //
-// With -workers-endpoints the daemon runs in coordinator mode: instead
-// of solving in-process it dispatches every solve — batch items
-// individually — across the listed rentmind worker daemons, discovering
-// each worker's in-flight cap from its GET /v1/capacity, re-dispatching
-// items away from faulted workers with exponential backoff, and
-// exporting per-worker health gauges on /metrics. The HTTP API is
-// identical in both modes; see docs/distributed.md for the topology.
+// With -coordinator (or a non-empty -workers-endpoints) the daemon runs
+// in coordinator mode: instead of solving in-process it dispatches every
+// solve — batch items individually — across its fleet of rentmind
+// worker daemons, discovering each worker's in-flight cap from its
+// GET /v1/capacity, re-dispatching items away from faulted workers with
+// exponential backoff, and exporting fleet health gauges on /metrics.
+// The fleet is elastic: -workers-endpoints only seeds it, workers join
+// at runtime through POST /v1/workers (see -register below), a health
+// probe loop strikes unresponsive members every -health-interval, and
+// -evict-strikes consecutive strikes evict one (it rejoins by
+// re-registering). Dispatches are content-addressed: each problem
+// document is uploaded to a worker once and solved by reference
+// thereafter. The HTTP API is identical in both modes; see
+// docs/distributed.md for the topology and membership protocol.
+//
+// A worker daemon given -register announces itself to that coordinator
+// at boot and every -register-interval thereafter (-advertise is its own
+// base URL as the coordinator should dial it), so killed-and-replaced
+// workers enroll themselves without coordinator reconfiguration.
 //
 // Endpoints (wire types in package rentmin/client, architecture in
 // internal/server):
 //
-//	POST /v1/solve    solve one problem JSON document
-//	POST /v1/batch    solve many problems concurrently
-//	GET  /v1/capacity static sizing for coordinators (solver pool size,
-//	                  queue capacity, batch limit)
-//	GET  /healthz     liveness and queue gauges (503 while draining)
-//	GET  /metrics     Prometheus-style counters: solve counts, queue depth,
-//	                  p50/p99 latency, LP iteration and speculation-waste
-//	                  totals, per-worker fleet health in coordinator mode
+//	POST /v1/solve         solve one problem (inline document or problem_ref)
+//	POST /v1/batch         solve many problems concurrently
+//	PUT  /v1/problems/{h}  upload a problem document to the
+//	                       content-addressed cache (h = sha256 of the bytes)
+//	POST /v1/workers       register a worker with a coordinator
+//	GET  /v1/workers       list the coordinator's fleet
+//	DELETE /v1/workers     remove a worker (?endpoint=...)
+//	GET  /v1/capacity      static sizing for coordinators (503 while
+//	                       draining, so fleets skip dying workers)
+//	GET  /healthz          liveness and queue gauges (503 while draining)
+//	GET  /metrics          Prometheus-style counters: solve counts, queue
+//	                       depth, p50/p99 latency, LP totals, problem-cache
+//	                       hit ratio, fleet size and per-worker health in
+//	                       coordinator mode
 //
 // A quick round trip against a running daemon:
 //
@@ -75,8 +96,15 @@ func main() {
 	defaultLimit := flag.Duration("default-time-limit", 10*time.Second, "solve deadline when the request sends none")
 	maxLimit := flag.Duration("max-time-limit", 60*time.Second, "hard cap on client-requested solve deadlines")
 	grace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight solves on SIGINT/SIGTERM")
-	workersEndpoints := flag.String("workers-endpoints", "", "comma-separated rentmind worker base URLs; when set the daemon runs as a coordinator dispatching every solve across the fleet instead of solving in-process")
+	problemCache := flag.Int("problem-cache", 256, "content-addressed problem cache entries (LRU eviction beyond)")
+	coordinator := flag.Bool("coordinator", false, "run as a coordinator even with no seed workers: the fleet starts empty and fills as workers register via POST /v1/workers")
+	workersEndpoints := flag.String("workers-endpoints", "", "comma-separated rentmind worker base URLs seeding the coordinator's fleet; implies -coordinator")
 	workersWait := flag.Duration("workers-wait", 15*time.Second, "how long to keep retrying worker capacity discovery at coordinator startup")
+	evictStrikes := flag.Int("evict-strikes", 3, "consecutive strikes (dispatch faults + failed health probes) that evict a fleet member; 0 never evicts")
+	healthInterval := flag.Duration("health-interval", 5*time.Second, "coordinator fleet health-probe interval; 0 disables probing")
+	register := flag.String("register", "", "coordinator base URL to register this worker with, at boot and every -register-interval")
+	advertise := flag.String("advertise", "", "this worker's own base URL as the coordinator should dial it (required with -register)")
+	registerInterval := flag.Duration("register-interval", 15*time.Second, "how often to re-announce to the -register coordinator (re-registration is idempotent and revives an evicted worker)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -91,17 +119,28 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		DefaultTimeLimit: *defaultLimit,
 		MaxTimeLimit:     *maxLimit,
+		ProblemCacheSize: *problemCache,
 	}
-	if *workersEndpoints != "" {
-		fleet, err := dialFleet(strings.Split(*workersEndpoints, ","), *workersWait)
+	if *register != "" && *advertise == "" {
+		log.Fatalf("-register needs -advertise (the base URL the coordinator dials this worker at)")
+	}
+	if *coordinator || *workersEndpoints != "" {
+		var seeds []string
+		if *workersEndpoints != "" {
+			seeds = strings.Split(*workersEndpoints, ",")
+		}
+		fleet, dialer, err := dialFleet(seeds, *workersWait, *evictStrikes)
 		if err != nil {
 			log.Fatalf("coordinator: %v", err)
 		}
 		cfg.SolverPool = fleet
+		cfg.WorkerDialer = dialer
+		cfg.HealthInterval = *healthInterval
 		if *workers == 0 {
-			cfg.Workers = 0 // let the fleet capacity size the lease table
+			cfg.Workers = 0 // size the lease table for an elastic fleet
 		}
-		log.Printf("coordinator mode: %d workers, fleet capacity %d", len(fleet.WorkerStats()), fleet.Workers())
+		log.Printf("coordinator mode: %d workers, fleet capacity %d (elastic: POST /v1/workers to join)",
+			len(fleet.WorkerStats()), fleet.Workers())
 	}
 	srv := server.New(cfg)
 	httpSrv := &http.Server{
@@ -116,6 +155,10 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s (%d solve workers, queue %d)", *addr, srv.Workers(), *queue)
+
+	if *register != "" {
+		go registerLoop(ctx, strings.TrimRight(strings.TrimSpace(*register), "/"), *advertise, *registerInterval)
+	}
 
 	select {
 	case err := <-errCh:
@@ -139,12 +182,13 @@ func main() {
 }
 
 // dialFleet builds the remote-backed solver pool, retrying capacity
-// discovery until every worker answered or the wait budget is spent —
-// coordinator and workers usually boot together, so the first probes may
-// land before the workers listen. Configuration errors (an endpoint list
-// that trims to nothing, a malformed URL) are permanent and fail
-// immediately; only discovery failures are worth the retry budget.
-func dialFleet(endpoints []string, wait time.Duration) (*rentmin.SolverPool, error) {
+// discovery until every seed worker answered or the wait budget is
+// spent — coordinator and workers usually boot together, so the first
+// probes may land before the workers listen. Configuration errors (a
+// malformed URL) are permanent and fail immediately; only discovery
+// failures are worth the retry budget. An empty seed list is fine: the
+// fleet starts empty and fills as workers register.
+func dialFleet(endpoints []string, wait time.Duration, evictStrikes int) (*rentmin.SolverPool, client.WorkerDialer, error) {
 	var cleaned []string
 	for _, ep := range endpoints {
 		ep = strings.TrimSpace(ep)
@@ -153,30 +197,70 @@ func dialFleet(endpoints []string, wait time.Duration) (*rentmin.SolverPool, err
 		}
 		u, err := url.Parse(ep)
 		if err != nil {
-			return nil, fmt.Errorf("invalid worker endpoint %q: %v", ep, err)
+			return nil, nil, fmt.Errorf("invalid worker endpoint %q: %v", ep, err)
 		}
 		if u.Scheme != "http" && u.Scheme != "https" {
-			return nil, fmt.Errorf("invalid worker endpoint %q: need an http(s) base URL", ep)
+			return nil, nil, fmt.Errorf("invalid worker endpoint %q: need an http(s) base URL", ep)
 		}
 		if u.Host == "" {
-			return nil, fmt.Errorf("invalid worker endpoint %q: missing host", ep)
+			return nil, nil, fmt.Errorf("invalid worker endpoint %q: missing host", ep)
 		}
 		cleaned = append(cleaned, ep)
 	}
-	if len(cleaned) == 0 {
-		return nil, errors.New("-workers-endpoints lists no worker endpoints")
-	}
+	fcfg := &client.FleetConfig{EvictStrikes: evictStrikes}
 	ctx, cancel := context.WithTimeout(context.Background(), wait)
 	defer cancel()
 	for {
-		fleet, err := client.NewFleet(ctx, cleaned, nil)
+		fleet, dialer, err := client.NewElasticFleet(ctx, cleaned, fcfg)
 		if err == nil {
-			return fleet, nil
+			return fleet, dialer, nil
 		}
 		select {
 		case <-ctx.Done():
-			return nil, err
+			return nil, nil, err
 		case <-time.After(500 * time.Millisecond):
+		}
+	}
+}
+
+// registerLoop announces this worker to a coordinator: a persistent
+// retry at boot (the coordinator may not be up yet), then a periodic
+// re-announce so a worker the coordinator evicted — or a coordinator
+// that restarted with an empty fleet — re-enrolls it without operator
+// action. Registration is idempotent on the coordinator side.
+func registerLoop(ctx context.Context, coordinator, advertise string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 15 * time.Second
+	}
+	c := client.New(coordinator)
+	registered := false
+	failures := 0
+	for {
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		_, err := c.RegisterWorker(rctx, advertise)
+		cancel()
+		switch {
+		case err == nil:
+			if !registered || failures > 0 {
+				log.Printf("registered with coordinator %s as %s", coordinator, advertise)
+			}
+			registered = true
+			failures = 0
+		default:
+			failures++
+			if failures == 1 || failures%10 == 0 {
+				log.Printf("register with %s failed (attempt %d): %v", coordinator, failures, err)
+			}
+		}
+		delay := interval
+		if !registered {
+			// Boot retry: the coordinator is probably seconds away.
+			delay = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
 		}
 	}
 }

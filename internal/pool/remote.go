@@ -29,8 +29,16 @@ type RemoteConfig struct {
 	// MaxAttempts bounds how many dispatches one task may consume before
 	// its last worker fault is reported as the task's error (so a fleet
 	// that is entirely down cannot spin forever). Zero means
-	// 3·len(workers), at least 4.
+	// 3·(current active workers), at least 4, re-evaluated per fault so
+	// the budget tracks an elastic fleet.
 	MaxAttempts int
+	// EvictStrikes, when positive, is the consecutive-strike threshold at
+	// which a worker is evicted from the fleet (removed exactly as
+	// RemoveWorker would, counted in Evictions). Zero disables eviction:
+	// a faulting worker only backs off, as in a fixed fleet. An evicted
+	// worker may rejoin via AddWorker — registration revives it with a
+	// clean slate.
+	EvictStrikes int
 }
 
 // RemoteWorkerStats is a point-in-time snapshot of one worker's health
@@ -51,6 +59,10 @@ type RemoteWorkerStats struct {
 	// success); BackingOff reports whether the worker is sitting out.
 	Strikes    int
 	BackingOff bool
+	// Removed reports the worker has left the fleet (RemoveWorker or
+	// strike eviction); it receives no new dispatches but its counters
+	// are kept so a rejoin resumes them.
+	Removed bool
 }
 
 // workerFaulter is the contract a task error uses to indict the worker
@@ -73,7 +85,9 @@ type workerKey struct{}
 // AssignedWorker returns the index (into the RemoteSpec slice) of the
 // worker a RemotePool bound the current task to, and whether the task is
 // running under a RemotePool at all. Task functions use it to route
-// their work to the right remote executor.
+// their work to the right remote executor. Indexes are stable for the
+// pool's lifetime: membership changes append or tombstone, they never
+// renumber.
 func AssignedWorker(ctx context.Context) (int, bool) {
 	w, ok := ctx.Value(workerKey{}).(int)
 	return w, ok
@@ -93,20 +107,29 @@ func AssignedWorker(ctx context.Context) (int, bool) {
 //     IsWorkerFault) puts the task back on the queue for a healthy
 //     worker and gives the faulted worker an exponential backoff, so a
 //     dead worker degrades throughput, not correctness;
+//   - elastic membership: AddWorker and RemoveWorker change the fleet
+//     mid-flight — schedulers blocked on a saturated (or empty) fleet
+//     wake and dispatch onto a joining worker, and a removed worker's
+//     queued items flow to the rest of the fleet. With
+//     RemoteConfig.EvictStrikes set, removal also happens automatically
+//     when a worker's consecutive strikes cross the threshold;
 //   - cancellation: queued tasks are never dispatched after ctx is
 //     done, and in-flight tasks see the cancellation through their
 //     context (a remote HTTP solve aborts mid-flight).
 //
 // Worker health (strikes, backoff deadlines) persists across Run calls,
 // so a long-lived coordinator keeps avoiding a flapping worker between
-// batches. Concurrent Run calls share the fleet's capacity.
+// batches. Concurrent Run calls share the fleet's capacity. A pool may
+// be built over an empty fleet: Run calls then park until a worker
+// joins or their context is cancelled.
 type RemotePool struct {
-	specs       []RemoteSpec
-	backoff     func(strike int) time.Duration
-	maxAttempts int
-	capacity    int
+	backoff      func(strike int) time.Duration
+	maxAttempts  int
+	evictStrikes int
 
 	mu         sync.Mutex
+	specs      []RemoteSpec
+	removed    []bool
 	free       []int // free seats per worker
 	strikes    []int
 	until      []time.Time // backoff deadline per worker
@@ -114,60 +137,36 @@ type RemotePool struct {
 	dispatched []int64
 	succeeded  []int64
 	faults     []int64
+	evictions  int64
 
-	// freed is a best-effort wakeup shared by concurrent Run calls: a
-	// scheduler starved of seats by another Run's tasks sleeps on it and
-	// re-checks the fleet when any seat frees anywhere.
-	freed chan struct{}
+	// waiters are the schedulers currently starved of seats: one
+	// buffered-1 channel per waiting Run call, signalled (never blocked
+	// on) whenever a seat frees or the membership changes. Per-waiter
+	// channels make the wakeup lossless — the single shared token this
+	// replaced could drop signals under concurrent Runs and needed a
+	// 50ms poll as a lost-wakeup net.
+	waiters []chan struct{}
 }
 
 var _ Pool = (*RemotePool)(nil)
 
 // NewRemote builds a RemotePool over the given workers. Capacities below
-// one are clamped to one; an empty fleet is an error.
+// one are clamped to one. The fleet may be empty: an elastic pool starts
+// with no members and grows by AddWorker.
 func NewRemote(specs []RemoteSpec, cfg RemoteConfig) (*RemotePool, error) {
-	if len(specs) == 0 {
-		return nil, errors.New("pool: remote pool needs at least one worker")
-	}
 	p := &RemotePool{
-		specs:       make([]RemoteSpec, len(specs)),
-		backoff:     cfg.Backoff,
-		maxAttempts: cfg.MaxAttempts,
-		free:        make([]int, len(specs)),
-		strikes:     make([]int, len(specs)),
-		until:       make([]time.Time, len(specs)),
-		inFlight:    make([]int, len(specs)),
-		dispatched:  make([]int64, len(specs)),
-		succeeded:   make([]int64, len(specs)),
-		faults:      make([]int64, len(specs)),
-		freed:       make(chan struct{}, 1),
-	}
-	for i, s := range specs {
-		if s.Capacity < 1 {
-			s.Capacity = 1
-		}
-		p.specs[i] = s
-		p.free[i] = s.Capacity
-		p.capacity += s.Capacity
+		backoff:      cfg.Backoff,
+		maxAttempts:  cfg.MaxAttempts,
+		evictStrikes: cfg.EvictStrikes,
 	}
 	if p.backoff == nil {
 		p.backoff = defaultBackoff
 	}
-	if p.maxAttempts <= 0 {
-		p.maxAttempts = 3 * len(specs)
-		if p.maxAttempts < 4 {
-			p.maxAttempts = 4
-		}
+	for _, s := range specs {
+		p.AddWorker(s)
 	}
 	return p, nil
 }
-
-// seatPollInterval bounds how long a scheduler with queued tasks sleeps
-// between fleet re-checks: the lost-wakeup fallback for the shared
-// best-effort freed signal. 50ms is invisible next to remote solve times
-// while keeping a fleet-wide poll rate of a few dozen scans per second
-// even with many concurrent Runs waiting.
-const seatPollInterval = 50 * time.Millisecond
 
 // defaultBackoff is the deterministic exponential schedule used when the
 // config supplies none: 100ms, 200ms, 400ms, ... capped at 5s.
@@ -182,13 +181,143 @@ func defaultBackoff(strike int) time.Duration {
 	return d
 }
 
-// Workers returns the fleet's total capacity.
-func (p *RemotePool) Workers() int { return p.capacity }
+// AddWorker adds a worker to the fleet (or revives/refreshes it) and
+// returns its stable index. Joining under a live Run is the point:
+// schedulers starved of seats wake immediately and dispatch queued items
+// onto the new member.
+//
+//   - A brand-new name appends a member.
+//   - A removed (evicted) name rejoins in place: same index, counters
+//     continued, strikes and backoff cleared.
+//   - A live name is refreshed idempotently: its capacity is updated to
+//     the given value (seats grow or shrink accordingly).
+func (p *RemotePool) AddWorker(spec RemoteSpec) int {
+	if spec.Capacity < 1 {
+		spec.Capacity = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w := range p.specs {
+		if p.specs[w].Name != spec.Name {
+			continue
+		}
+		if p.removed[w] {
+			// Rejoin after removal/eviction: clean health, fresh seats
+			// (minus any dispatches still draining from before removal).
+			p.removed[w] = false
+			p.strikes[w] = 0
+			p.until[w] = time.Time{}
+			p.specs[w].Capacity = spec.Capacity
+			p.free[w] = spec.Capacity - p.inFlight[w]
+		} else {
+			// Idempotent re-registration: refresh the capacity.
+			p.free[w] += spec.Capacity - p.specs[w].Capacity
+			p.specs[w].Capacity = spec.Capacity
+		}
+		p.broadcastLocked()
+		return w
+	}
+	p.specs = append(p.specs, spec)
+	p.removed = append(p.removed, false)
+	p.free = append(p.free, spec.Capacity)
+	p.strikes = append(p.strikes, 0)
+	p.until = append(p.until, time.Time{})
+	p.inFlight = append(p.inFlight, 0)
+	p.dispatched = append(p.dispatched, 0)
+	p.succeeded = append(p.succeeded, 0)
+	p.faults = append(p.faults, 0)
+	p.broadcastLocked()
+	return len(p.specs) - 1
+}
 
-// Specs returns the fleet description the pool was built with.
-func (p *RemotePool) Specs() []RemoteSpec { return p.specs }
+// RemoveWorker takes the named worker out of the fleet; it reports
+// whether a live member was removed. The worker gets no new dispatches;
+// its in-flight tasks finish (or fault and re-dispatch) normally, and
+// queued items excluded from every remaining member have their
+// exclusion sets reset so they keep flowing. The index stays reserved —
+// AddWorker with the same name rejoins in place.
+func (p *RemotePool) RemoveWorker(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w := range p.specs {
+		if p.specs[w].Name == name && !p.removed[w] {
+			p.removed[w] = true
+			p.broadcastLocked()
+			return true
+		}
+	}
+	return false
+}
 
-// Stats snapshots per-worker health for metrics export.
+// Strike records a health-probe failure against the named worker: a
+// strike plus backoff exactly as a dispatch fault would add, without
+// touching the dispatch counters (a probe is not a dispatch). It
+// reports whether the strike crossed the eviction threshold and removed
+// the worker. Unknown or already-removed names are a no-op.
+func (p *RemotePool) Strike(name string) (evicted bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w := range p.specs {
+		if p.specs[w].Name == name && !p.removed[w] {
+			return p.strikeLocked(w)
+		}
+	}
+	return false
+}
+
+// strikeLocked adds a strike and backoff to worker w, evicting it when
+// the configured threshold is crossed. Caller holds mu.
+func (p *RemotePool) strikeLocked(w int) (evicted bool) {
+	p.strikes[w]++
+	p.until[w] = time.Now().Add(p.backoff(p.strikes[w]))
+	if p.evictStrikes > 0 && p.strikes[w] >= p.evictStrikes {
+		p.removed[w] = true
+		p.evictions++
+		p.broadcastLocked()
+		return true
+	}
+	return false
+}
+
+// Evictions counts workers removed by the strike threshold since the
+// pool was created (manual RemoveWorker calls are not counted).
+func (p *RemotePool) Evictions() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// Workers returns the fleet's current total capacity (active members
+// only). It changes as workers join and leave.
+func (p *RemotePool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for w := range p.specs {
+		if !p.removed[w] {
+			total += p.specs[w].Capacity
+		}
+	}
+	return total
+}
+
+// Specs returns a snapshot of the fleet's active members. The slice is
+// a copy: mutating it cannot corrupt the pool's membership table.
+func (p *RemotePool) Specs() []RemoteSpec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]RemoteSpec, 0, len(p.specs))
+	for w := range p.specs {
+		if !p.removed[w] {
+			out = append(out, p.specs[w])
+		}
+	}
+	return out
+}
+
+// Stats snapshots per-worker health for metrics export. Removed members
+// are included (flagged Removed) so dashboards can count evictions and
+// a coordinator can report a vanished worker's final counters.
 func (p *RemotePool) Stats() []RemoteWorkerStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -204,6 +333,7 @@ func (p *RemotePool) Stats() []RemoteWorkerStats {
 			Faults:     p.faults[i],
 			Strikes:    p.strikes[i],
 			BackingOff: p.until[i].After(now),
+			Removed:    p.removed[i],
 		}
 	}
 	return out
@@ -225,24 +355,71 @@ func (p *RemotePool) Do(n int, task func(i int)) {
 	rethrowPanic(p.Run(n, func(i int) error { task(i); return nil }))
 }
 
+// subscribe registers the calling scheduler for seat/membership wakeups
+// and returns its private buffered-1 channel. Register before scanning
+// for seats: a release landing between the scan and the sleep is then
+// buffered, not lost.
+func (p *RemotePool) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	p.mu.Lock()
+	p.waiters = append(p.waiters, ch)
+	p.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes the scheduler's wakeup channel.
+func (p *RemotePool) unsubscribe(ch chan struct{}) {
+	p.mu.Lock()
+	for i := range p.waiters {
+		if p.waiters[i] == ch {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// broadcastLocked signals every waiting scheduler (non-blocking: each
+// waiter channel holds one pending token). Caller holds mu.
+func (p *RemotePool) broadcastLocked() {
+	for _, ch := range p.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // pickAssignment scans the queue in FIFO order for the first item with a
-// dispatchable worker: a free seat, no active backoff, and not excluded
-// by the item's own fault history (an item never returns to a worker it
-// already faulted on while alternatives exist — backoff-expiry probes of
-// a dead worker must not burn the same item's attempt budget over and
-// over). Among eligible workers it reserves a seat on the one with the
-// most free seats (ties to the lowest index), which spreads a batch
-// across the fleet instead of filling workers one by one. It returns the
-// queue position and worker, or (-1, -1) and the wait until the nearest
-// backoff expiry among workers with free seats (zero when no backoff is
-// pending and the caller must wait for a seat instead).
+// dispatchable worker: active membership, a free seat, no running
+// backoff, and not excluded by the item's own fault history (an item
+// never returns to a worker it already faulted on while alternatives
+// exist — backoff-expiry probes of a dead worker must not burn the same
+// item's attempt budget over and over). Among eligible workers it
+// reserves a seat on the one with the most free seats (ties to the
+// lowest index), which spreads a batch across the fleet instead of
+// filling workers one by one. An item whose exclusion set has come to
+// cover every active member — membership shrank under it — has the set
+// reset so it keeps flowing. It returns the queue position and worker,
+// or (-1, -1) and the wait until the nearest backoff expiry among
+// workers with free seats (zero when no backoff is pending and the
+// caller must wait for a seat or a membership change instead).
 func (p *RemotePool) pickAssignment(now time.Time, queue []item) (int, int, time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for qi := range queue {
+	for qi := 0; qi < len(queue); qi++ {
 		best := -1
+		active, eligible := 0, 0
 		for w := range p.specs {
-			if p.free[w] <= 0 || p.until[w].After(now) || queue[qi].excludes(w) {
+			if p.removed[w] {
+				continue
+			}
+			active++
+			if queue[qi].excludes(w) {
+				continue
+			}
+			eligible++
+			if p.free[w] <= 0 || p.until[w].After(now) {
 				continue
 			}
 			if best < 0 || p.free[w] > p.free[best] {
@@ -255,13 +432,20 @@ func (p *RemotePool) pickAssignment(now time.Time, queue []item) (int, int, time
 			p.dispatched[best]++
 			return qi, best, 0
 		}
+		if active > 0 && eligible == 0 {
+			// Every worker this item hasn't faulted on has since left the
+			// fleet. Clear the history so the item may probe the members
+			// that remain (still bounded by its attempt budget) and rescan.
+			queue[qi].excluded = nil
+			qi--
+		}
 	}
 	// Nothing dispatchable: report the nearest backoff expiry among
-	// workers that do have a free seat, so the scheduler can sleep until
-	// the fleet heals rather than only until a seat frees.
+	// active workers that do have a free seat, so the scheduler can sleep
+	// until the fleet heals rather than only until a seat frees.
 	var wait time.Duration
 	for w := range p.specs {
-		if p.free[w] <= 0 {
+		if p.removed[w] || p.free[w] <= 0 {
 			continue
 		}
 		if d := p.until[w].Sub(now); d > 0 && (wait == 0 || d < wait) {
@@ -271,16 +455,13 @@ func (p *RemotePool) pickAssignment(now time.Time, queue []item) (int, int, time
 	return -1, -1, wait
 }
 
-// release frees the worker's seat and signals anyone waiting for one.
+// release frees the worker's seat and wakes every waiting scheduler.
 func (p *RemotePool) release(w int) {
 	p.mu.Lock()
 	p.free[w]++
 	p.inFlight[w]--
+	p.broadcastLocked()
 	p.mu.Unlock()
-	select {
-	case p.freed <- struct{}{}:
-	default:
-	}
 }
 
 // recordSuccess clears the worker's strike count.
@@ -291,13 +472,34 @@ func (p *RemotePool) recordSuccess(w int) {
 	p.mu.Unlock()
 }
 
-// recordFault adds a strike and schedules the worker's backoff.
+// recordFault adds a strike and schedules the worker's backoff; with
+// eviction configured, the threshold strike removes the worker.
 func (p *RemotePool) recordFault(w int) {
 	p.mu.Lock()
 	p.faults[w]++
-	p.strikes[w]++
-	p.until[w] = time.Now().Add(p.backoff(p.strikes[w]))
+	p.strikeLocked(w)
 	p.mu.Unlock()
+}
+
+// attemptBudget resolves the per-item dispatch budget against the
+// current fleet size (for the dynamic zero default).
+func (p *RemotePool) attemptBudget() int {
+	if p.maxAttempts > 0 {
+		return p.maxAttempts
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	active := 0
+	for w := range p.specs {
+		if !p.removed[w] {
+			active++
+		}
+	}
+	budget := 3 * active
+	if budget < 4 {
+		budget = 4
+	}
+	return budget
 }
 
 // item is one task making its way through the dispatcher, carrying its
@@ -307,28 +509,35 @@ type item struct {
 	attempts int
 	lastErr  error
 	// excluded marks workers this item already faulted on; nil until the
-	// first fault. When every worker is excluded the set resets, so the
-	// item may probe the fleet again (bounded by MaxAttempts).
+	// first fault. It is sized to the fleet at fault time and treats
+	// later-joined indexes as not excluded. When every active worker is
+	// excluded the set resets — at fault time or, if membership shrank
+	// under a queued item, during assignment — so the item may probe the
+	// fleet again (bounded by the attempt budget).
 	excluded []bool
 }
 
 func (it *item) excludes(w int) bool {
-	return it.excluded != nil && it.excluded[w]
+	return w < len(it.excluded) && it.excluded[w]
 }
 
-// exclude marks the worker; it reports false when that was the last
-// non-excluded worker (caller resets the set).
-func (it *item) exclude(w, workers int) bool {
-	if it.excluded == nil {
-		it.excluded = make([]bool, workers)
+// excludeWorker marks the worker in the item's fault history, resetting
+// the set when it has come to cover every active member.
+func (p *RemotePool) excludeWorker(it *item, w int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(it.excluded) < len(p.specs) {
+		grown := make([]bool, len(p.specs))
+		copy(grown, it.excluded)
+		it.excluded = grown
 	}
 	it.excluded[w] = true
-	for _, x := range it.excluded {
-		if !x {
-			return true
+	for x := range p.specs {
+		if !p.removed[x] && !it.excluded[x] {
+			return
 		}
 	}
-	return false
+	it.excluded = nil
 }
 
 // completion is what a finished dispatch reports back to the scheduler.
@@ -378,9 +587,15 @@ func (p *RemotePool) RunContext(ctx context.Context, n int, fn func(ctx context.
 		}
 
 		var healWait time.Duration
+		var wake chan struct{}
 		if len(queue) > 0 {
+			// Subscribe before scanning: a seat released (or a worker
+			// joining) between the scan and the sleep lands in the
+			// buffered waiter channel instead of being lost.
+			wake = p.subscribe()
 			qi, w, wait := p.pickAssignment(time.Now(), queue)
 			if w >= 0 {
+				p.unsubscribe(wake)
 				it := queue[qi]
 				queue = append(queue[:qi], queue[qi+1:]...)
 				it.attempts++
@@ -407,18 +622,11 @@ func (p *RemotePool) RunContext(ctx context.Context, n int, fn func(ctx context.
 		}
 
 		// Nothing dispatchable: wait for one of our dispatches to finish,
-		// any seat in the fleet to free (it may belong to a concurrent
-		// Run), the nearest backoff to expire, or cancellation. While
-		// tasks are still queued the sleep is capped at a short poll:
-		// the freed channel is a best-effort single token shared by every
-		// concurrent Run, so a burst of seat releases can drop signals —
-		// without the poll, a Run whose tasks are excluded from the only
-		// idle worker could miss the wakeup and stall until cancellation.
+		// any seat in the fleet to free or the membership to change (the
+		// wakeup may come from a concurrent Run's release or from
+		// AddWorker), the nearest backoff to expire, or cancellation.
 		var timerC <-chan time.Time
 		var timer *time.Timer
-		if len(queue) > 0 && (healWait <= 0 || healWait > seatPollInterval) {
-			healWait = seatPollInterval
-		}
 		if healWait > 0 {
 			timer = time.NewTimer(healWait)
 			timerC = timer.C
@@ -431,12 +639,15 @@ func (p *RemotePool) RunContext(ctx context.Context, n int, fn func(ctx context.
 		case c := <-done:
 			inflight--
 			p.settle(ctx, c, &queue, errs)
-		case <-p.freed:
+		case <-wake:
 		case <-timerC:
 		case <-ctxDone:
 		}
 		if timer != nil {
 			timer.Stop()
+		}
+		if wake != nil {
+			p.unsubscribe(wake)
 		}
 	}
 
@@ -457,15 +668,11 @@ func (p *RemotePool) settle(ctx context.Context, c completion, queue *[]item, er
 	switch {
 	case c.err == nil:
 		errs[c.it.i] = nil
-	case IsWorkerFault(c.err) && ctx.Err() == nil && c.it.attempts < p.maxAttempts:
+	case IsWorkerFault(c.err) && ctx.Err() == nil && c.it.attempts < p.attemptBudget():
 		c.it.lastErr = c.err
-		if !c.it.exclude(c.w, len(p.specs)) {
-			// Every worker has faulted this item once: clear the history
-			// so it may probe the (possibly recovering) fleet again.
-			c.it.excluded = nil
-		}
+		p.excludeWorker(&c.it, c.w)
 		*queue = append(*queue, c.it)
-	case IsWorkerFault(c.err) && c.it.attempts >= p.maxAttempts:
+	case IsWorkerFault(c.err):
 		errs[c.it.i] = fmt.Errorf("pool: task %d failed on %d dispatches, giving up: %w", c.it.i, c.it.attempts, c.err)
 	default:
 		errs[c.it.i] = c.err

@@ -224,9 +224,229 @@ func TestRemotePerWorkerInFlightCap(t *testing.T) {
 	}
 }
 
-func TestRemoteEmptyFleetRejected(t *testing.T) {
-	if _, err := NewRemote(nil, RemoteConfig{}); err == nil {
-		t.Fatalf("NewRemote accepted an empty fleet")
+// TestRemoteEmptyFleetParksUntilJoin pins the elastic contract: an empty
+// fleet is a valid starting state, a Run over it parks without burning
+// attempts, and the first AddWorker wakes the scheduler and drains the
+// queue.
+func TestRemoteEmptyFleetParksUntilJoin(t *testing.T) {
+	p, err := NewRemote(nil, RemoteConfig{Backoff: fastBackoff})
+	if err != nil {
+		t.Fatalf("NewRemote(empty): %v", err)
+	}
+	defer p.Close()
+	if got := p.Workers(); got != 0 {
+		t.Fatalf("empty fleet Workers() = %d, want 0", got)
+	}
+	const n = 6
+	var solved atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		done <- p.RunContext(context.Background(), n, func(ctx context.Context, i int) error {
+			if _, ok := AssignedWorker(ctx); !ok {
+				return errors.New("no assigned worker")
+			}
+			solved.Add(1)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Run over an empty fleet returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.AddWorker(RemoteSpec{Name: "late", Capacity: 2})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunContext after join: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("join did not wake the parked scheduler")
+	}
+	if solved.Load() != n {
+		t.Errorf("solved %d of %d items after join", solved.Load(), n)
+	}
+}
+
+// TestRemoteEmptyFleetRunHonorsCancel: parking on an empty fleet must
+// still abort on cancellation, reporting context.Canceled with every
+// task skipped.
+func TestRemoteEmptyFleetRunHonorsCancel(t *testing.T) {
+	p, err := NewRemote(nil, RemoteConfig{})
+	if err != nil {
+		t.Fatalf("NewRemote(empty): %v", err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- p.RunContext(ctx, 3, func(context.Context, int) error {
+			return errors.New("must never run")
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("cancellation did not wake the parked scheduler")
+	}
+}
+
+// TestRemoteJoinMidRunReceivesWork: a worker added while a Run is
+// saturated picks up queued items (run under -race in CI, this is the
+// membership-resize safety test).
+func TestRemoteJoinMidRunReceivesWork(t *testing.T) {
+	p, err := NewRemote([]RemoteSpec{{Name: "w0", Capacity: 1}}, RemoteConfig{Backoff: fastBackoff})
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	defer p.Close()
+	const n = 16
+	var byWorker [2]atomic.Int64
+	joined := make(chan struct{})
+	var once sync.Once
+	err = p.RunContext(context.Background(), n, func(ctx context.Context, i int) error {
+		w, _ := AssignedWorker(ctx)
+		once.Do(func() {
+			// First dispatch is in flight on w0 with n-1 items queued:
+			// grow the fleet under the live scheduler.
+			p.AddWorker(RemoteSpec{Name: "w1", Capacity: 3})
+			close(joined)
+		})
+		<-joined
+		time.Sleep(time.Millisecond) // keep seats occupied so the queue spreads
+		byWorker[w].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if total := byWorker[0].Load() + byWorker[1].Load(); total != n {
+		t.Fatalf("fleet ran %d of %d items", total, n)
+	}
+	if byWorker[1].Load() == 0 {
+		t.Errorf("worker joined mid-run never received work: %v %v", byWorker[0].Load(), byWorker[1].Load())
+	}
+	if got := p.Workers(); got != 4 {
+		t.Errorf("Workers() = %d after join, want 4", got)
+	}
+}
+
+// TestRemoteRemoveMidRunRedirectsQueue: removing a worker mid-Run stops
+// new dispatches to it; queued items flow to the remaining member even
+// when their exclusion sets pointed the other way.
+func TestRemoteRemoveMidRunRedirectsQueue(t *testing.T) {
+	p, err := NewRemote(
+		[]RemoteSpec{{Name: "w0", Capacity: 1}, {Name: "w1", Capacity: 1}},
+		RemoteConfig{Backoff: fastBackoff},
+	)
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	defer p.Close()
+	const n = 12
+	var removed atomic.Bool
+	var afterRemoval atomic.Int64
+	err = p.RunContext(context.Background(), n, func(ctx context.Context, i int) error {
+		w, _ := AssignedWorker(ctx)
+		if removed.Load() && w == 0 {
+			afterRemoval.Add(1)
+		}
+		if i == 0 {
+			p.RemoveWorker("w0")
+			removed.Store(true)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if got := afterRemoval.Load(); got != 0 {
+		t.Errorf("%d dispatches landed on w0 after removal", got)
+	}
+	if got := p.Workers(); got != 1 {
+		t.Errorf("Workers() = %d after removal, want 1", got)
+	}
+	if specs := p.Specs(); len(specs) != 1 || specs[0].Name != "w1" {
+		t.Errorf("Specs() after removal = %+v, want just w1", specs)
+	}
+}
+
+// TestRemoteStrikeEviction: crossing the EvictStrikes threshold removes
+// the worker from the fleet and counts an eviction; re-registration
+// revives it with clean health at the same index.
+func TestRemoteStrikeEviction(t *testing.T) {
+	p, err := NewRemote(
+		[]RemoteSpec{{Name: "w0", Capacity: 2}},
+		RemoteConfig{Backoff: fastBackoff, EvictStrikes: 3},
+	)
+	if err != nil {
+		t.Fatalf("NewRemote: %v", err)
+	}
+	defer p.Close()
+	for i := 0; i < 2; i++ {
+		if evicted := p.Strike("w0"); evicted {
+			t.Fatalf("strike %d evicted below the threshold", i+1)
+		}
+	}
+	if !p.Strike("w0") {
+		t.Fatalf("threshold strike did not evict")
+	}
+	if got := p.Evictions(); got != 1 {
+		t.Errorf("Evictions() = %d, want 1", got)
+	}
+	if got := p.Workers(); got != 0 {
+		t.Errorf("Workers() = %d after eviction, want 0", got)
+	}
+	stats := p.Stats()
+	if len(stats) != 1 || !stats[0].Removed {
+		t.Fatalf("evicted worker not flagged Removed: %+v", stats)
+	}
+	// Strikes against an evicted worker are a no-op, not a second eviction.
+	if p.Strike("w0") {
+		t.Errorf("strike on an evicted worker evicted again")
+	}
+	if got := p.Evictions(); got != 1 {
+		t.Errorf("Evictions() = %d after no-op strike, want 1", got)
+	}
+	// Rejoin: same index, clean slate.
+	if w := p.AddWorker(RemoteSpec{Name: "w0", Capacity: 4}); w != 0 {
+		t.Errorf("rejoin allocated index %d, want the reserved 0", w)
+	}
+	s := p.Stats()[0]
+	if s.Removed || s.Strikes != 0 || s.BackingOff || s.Capacity != 4 {
+		t.Errorf("rejoined worker state: %+v, want live with clean health and capacity 4", s)
+	}
+}
+
+// TestRemoteSpecsReturnsCopy pins the bugfix: mutating the returned
+// slice must not corrupt the pool's membership table.
+func TestRemoteSpecsReturnsCopy(t *testing.T) {
+	p := twoWorkerPool(t, RemoteConfig{})
+	specs := p.Specs()
+	specs[0].Name = "corrupted"
+	specs[0].Capacity = 999
+	if got := p.Specs()[0]; got.Name != "w0" || got.Capacity != 2 {
+		t.Fatalf("Specs() exposed internal state: mutation leaked, got %+v", got)
+	}
+}
+
+// TestRemoteReregisterRefreshesCapacity: AddWorker on a live member is
+// an idempotent capacity refresh, not a duplicate.
+func TestRemoteReregisterRefreshesCapacity(t *testing.T) {
+	p := twoWorkerPool(t, RemoteConfig{})
+	if w := p.AddWorker(RemoteSpec{Name: "w0", Capacity: 5}); w != 0 {
+		t.Fatalf("re-register allocated index %d, want 0", w)
+	}
+	if got := p.Workers(); got != 7 {
+		t.Errorf("Workers() = %d after capacity refresh, want 7 (5+2)", got)
+	}
+	if got := len(p.Specs()); got != 2 {
+		t.Errorf("re-registration duplicated the worker: %d specs", got)
 	}
 }
 

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"rentmin"
+)
+
+// problemCache is the daemon's content-addressed problem store: parsed,
+// validated problem documents keyed by the SHA-256 of their uploaded
+// bytes, bounded by entry count with LRU eviction. Both sides of a
+// distributed deployment run one — workers so coordinators can dispatch
+// by reference, coordinators so clients can. A cached problem is stored
+// with whatever target its document carried (canonically zero) and is
+// never handed out directly: resolve returns a copy for the caller to
+// patch.
+type problemCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+	uploads   int64
+}
+
+type cacheEntry struct {
+	hash string
+	prob *rentmin.Problem
+}
+
+func newProblemCache(max int) *problemCache {
+	if max < 1 {
+		max = 1
+	}
+	return &problemCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// put stores (or refreshes) a problem under its hash, evicting the least
+// recently used entry beyond the bound.
+func (c *problemCache) put(hash string, p *rentmin.Problem) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.uploads++
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).prob = p
+		return
+	}
+	c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, prob: p})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).hash)
+		c.evictions++
+	}
+}
+
+// resolve looks a hash up, marking the entry recently used. The returned
+// problem is a copy: callers patch its Target freely.
+func (c *problemCache) resolve(hash string) (*rentmin.Problem, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	p := *el.Value.(*cacheEntry).prob
+	return &p, true
+}
+
+// cacheStats is a point-in-time snapshot for the metrics page.
+type cacheStats struct {
+	entries, capacity                int
+	hits, misses, evictions, uploads int64
+}
+
+func (c *problemCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		entries:   c.order.Len(),
+		capacity:  c.max,
+		hits:      c.hits,
+		misses:    c.misses,
+		evictions: c.evictions,
+		uploads:   c.uploads,
+	}
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rentmin"
+	"rentmin/client"
+)
+
+func TestSolveByRefRoundTrip(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	p := fastProblem(70)
+	hash, doc, err := client.ProblemHash(p)
+	if err != nil {
+		t.Fatalf("ProblemHash: %v", err)
+	}
+	if err := c.UploadProblem(ctx, hash, doc); err != nil {
+		t.Fatalf("UploadProblem: %v", err)
+	}
+	// Upload is idempotent: re-PUT refreshes, no error.
+	if err := c.UploadProblem(ctx, hash, doc); err != nil {
+		t.Fatalf("re-UploadProblem: %v", err)
+	}
+
+	// The canonical document carries target zero; the ref patches it in.
+	sol, err := c.SolveRef(ctx, hash, 70, nil)
+	if err != nil {
+		t.Fatalf("SolveRef: %v", err)
+	}
+	if !sol.Proven || sol.Allocation.Cost != 124 {
+		t.Errorf("ref solve: cost %d proven=%v, want proven 124", sol.Allocation.Cost, sol.Proven)
+	}
+	// Same document, different target — no second upload needed.
+	sol, err = c.SolveRef(ctx, hash, 10, nil)
+	if err != nil {
+		t.Fatalf("SolveRef target 10: %v", err)
+	}
+	if sol.Allocation.Cost != 28 {
+		t.Errorf("ref solve target 10: cost %d, want 28", sol.Allocation.Cost)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		"rentmind_problem_uploads_total 2",
+		"rentmind_problem_cache_hits_total 2",
+		"rentmind_problem_cache_misses_total 0",
+		"rentmind_problem_cache_entries 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestSolveRefUncachedAnswers412(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	missing := strings.Repeat("ab", 32)
+	_, err := c.SolveRef(context.Background(), missing, 70, nil)
+	apiErr := apiStatus(t, err)
+	if apiErr.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("uncached ref: HTTP %d, want 412", apiErr.StatusCode)
+	}
+	if !strings.Contains(apiErr.Message, missing) || !strings.Contains(apiErr.Message, "/v1/problems/") {
+		t.Errorf("412 should name the hash and the upload endpoint, got %q", apiErr.Message)
+	}
+}
+
+func TestProblemPutRejectsBadUploads(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxGraphs: 2})
+	put := func(hash, body string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPut, serverURL(c)+"/v1/problems/"+hash, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	_, doc, err := client.ProblemHash(fastProblem(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := put("nothex", string(doc)); code != http.StatusBadRequest {
+		t.Errorf("malformed hash: %d, want 400", code)
+	}
+	if code := put(strings.Repeat("ab", 32), string(doc)); code != http.StatusBadRequest {
+		t.Errorf("hash/content mismatch: %d, want 400", code)
+	}
+	if code := put(strings.Repeat("ab", 32), "{not json"); code != http.StatusBadRequest {
+		t.Errorf("unparseable document: %d, want 400", code)
+	}
+
+	// Admission control still guards the cache: an oversize problem is
+	// rejected 422 even with a correct hash.
+	big := fastProblem(70)
+	for len(big.App.Graphs) <= 2 {
+		big.App.Graphs = append(big.App.Graphs, big.App.Graphs[0])
+	}
+	hash, bigDoc, err := client.ProblemHash(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := put(hash, string(bigDoc)); code != http.StatusUnprocessableEntity {
+		t.Errorf("oversize upload: %d, want 422", code)
+	}
+}
+
+func TestSolveRejectsProblemPlusRef(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	hash := strings.Repeat("ab", 32)
+	_, doc, err := client.ProblemHash(fastProblem(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"problem": %s, "problem_ref": {"hash": %q}}`, doc, hash)
+	resp, err := http.Post(serverURL(c)+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("problem + problem_ref: %d, want 400", resp.StatusCode)
+	}
+	batch := fmt.Sprintf(`{"problems": [%s], "problem_refs": [{"hash": %q}]}`, doc, hash)
+	resp, err = http.Post(serverURL(c)+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("problems + problem_refs: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBatchByRefSweepsTargets(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	hash, doc, err := client.ProblemHash(fastProblem(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UploadProblem(ctx, hash, doc); err != nil {
+		t.Fatalf("UploadProblem: %v", err)
+	}
+	targets := []int{10, 40, 70}
+	refs := make([]client.ProblemRef, len(targets))
+	for i := range targets {
+		tgt := targets[i]
+		refs[i] = client.ProblemRef{Hash: hash, Target: &tgt}
+	}
+	sols, err := c.SolveBatchRef(ctx, refs, nil)
+	if err != nil {
+		t.Fatalf("SolveBatchRef: %v", err)
+	}
+	wantCosts := []int64{28, 69, 124}
+	for i, sol := range sols {
+		if sol.Error != "" {
+			t.Errorf("item %d failed: %s", i, sol.Error)
+			continue
+		}
+		if sol.Allocation.Cost != wantCosts[i] {
+			t.Errorf("item %d: cost %d, want %d", i, sol.Allocation.Cost, wantCosts[i])
+		}
+	}
+	// One upload served the whole sweep.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "rentmind_problem_uploads_total 1") {
+		t.Errorf("sweep should need exactly one upload:\n%s", metrics)
+	}
+}
+
+func TestProblemCacheEvictsLRU(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, ProblemCacheSize: 2})
+	ctx := context.Background()
+
+	upload := func(seed uint64) string {
+		t.Helper()
+		p, err := rentmin.Generate(rentmin.GenConfig{
+			NumGraphs: 2, MinTasks: 2, MaxTasks: 3, MutatePercent: 0.5,
+			NumTypes: 3, CostMin: 1, CostMax: 20,
+			ThroughputMin: 5, ThroughputMax: 25,
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash, doc, err := client.ProblemHash(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.UploadProblem(ctx, hash, doc); err != nil {
+			t.Fatalf("upload seed %d: %v", seed, err)
+		}
+		return hash
+	}
+	first := upload(1)
+	upload(2)
+	upload(3) // capacity 2: evicts the least recently used — `first`
+
+	if _, err := c.SolveRef(ctx, first, 10, nil); apiStatus(t, err).StatusCode != http.StatusPreconditionFailed {
+		t.Errorf("evicted hash should answer 412")
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rentmind_problem_cache_evictions_total 1",
+		"rentmind_problem_cache_entries 2",
+		"rentmind_problem_cache_capacity 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestNegativeTimeLimitRejected(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	_, doc, err := client.ProblemHash(fastProblem(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, body := range map[string]string{
+		"/v1/solve": fmt.Sprintf(`{"problem": %s, "time_limit_ms": -5}`, doc),
+		"/v1/batch": fmt.Sprintf(`{"problems": [%s], "time_limit_ms": -5}`, doc),
+	} {
+		resp, err := http.Post(serverURL(c)+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with negative time_limit_ms: %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestCapacityDuringDrain503(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1})
+	s.BeginDrain()
+	_, err := c.Capacity(context.Background())
+	apiErr := apiStatus(t, err)
+	if apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("capacity while draining: HTTP %d, want 503", apiErr.StatusCode)
+	}
+	if !apiErr.Temporary() {
+		t.Errorf("draining 503 should be Temporary so fleet builders skip, not fail")
+	}
+}

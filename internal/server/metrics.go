@@ -78,9 +78,18 @@ type gauges struct {
 	queueDepth int
 	inFlight   int
 	draining   bool
+	// remote marks a coordinator (remote-backed pool): it gates the
+	// fleet series so a plain worker daemon never emits them, even with
+	// an empty elastic fleet.
+	remote bool
 	// fleet is the per-worker health of a remote-backed (coordinator)
-	// pool; nil on a plain worker daemon.
-	fleet []rentmin.WorkerStatus
+	// pool; nil on a plain worker daemon. evictions counts members the
+	// strike threshold removed.
+	fleet     []rentmin.WorkerStatus
+	evictions int64
+	// cache is the content-addressed problem cache snapshot (every
+	// daemon has one).
+	cache cacheStats
 }
 
 // writeTo renders the Prometheus text exposition format.
@@ -157,9 +166,66 @@ func (m *metrics) writeTo(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# TYPE rentmind_draining gauge\n")
 	fmt.Fprintf(w, "rentmind_draining %d\n", draining)
 
-	if len(g.fleet) > 0 {
+	writeCache(w, g.cache)
+
+	if g.remote {
+		writeFleetAggregates(w, g.fleet, g.evictions)
 		writeFleet(w, g.fleet)
 	}
+}
+
+// writeCache renders the content-addressed problem cache series. The
+// hit ratio is the headline number: a target sweep over one instance
+// should drive it toward 1.
+func writeCache(w io.Writer, c cacheStats) {
+	fmt.Fprintf(w, "# HELP rentmind_problem_cache_entries Problem documents currently held by the content-addressed cache.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_problem_cache_entries gauge\n")
+	fmt.Fprintf(w, "rentmind_problem_cache_entries %d\n", c.entries)
+	fmt.Fprintf(w, "# HELP rentmind_problem_cache_capacity The cache's entry bound (LRU eviction beyond it).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_problem_cache_capacity gauge\n")
+	fmt.Fprintf(w, "rentmind_problem_cache_capacity %d\n", c.capacity)
+	fmt.Fprintf(w, "# HELP rentmind_problem_uploads_total Documents stored via PUT /v1/problems (re-uploads of a held hash included).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_problem_uploads_total counter\n")
+	fmt.Fprintf(w, "rentmind_problem_uploads_total %d\n", c.uploads)
+	fmt.Fprintf(w, "# HELP rentmind_problem_cache_hits_total problem_ref resolutions served from the cache.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_problem_cache_hits_total counter\n")
+	fmt.Fprintf(w, "rentmind_problem_cache_hits_total %d\n", c.hits)
+	fmt.Fprintf(w, "# HELP rentmind_problem_cache_misses_total problem_ref resolutions that answered 412 (hash not held).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_problem_cache_misses_total counter\n")
+	fmt.Fprintf(w, "rentmind_problem_cache_misses_total %d\n", c.misses)
+	fmt.Fprintf(w, "# HELP rentmind_problem_cache_evictions_total Documents dropped by LRU pressure.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_problem_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "rentmind_problem_cache_evictions_total %d\n", c.evictions)
+	ratio := 0.0
+	if c.hits+c.misses > 0 {
+		ratio = float64(c.hits) / float64(c.hits+c.misses)
+	}
+	fmt.Fprintf(w, "# HELP rentmind_problem_cache_hit_ratio Fraction of problem_ref resolutions served from the cache.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_problem_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "rentmind_problem_cache_hit_ratio %g\n", ratio)
+}
+
+// writeFleetAggregates renders the coordinator's whole-fleet series: how
+// many members are live, their summed capacity, and how many the strike
+// threshold has evicted. Emitted (possibly as zeros) for every
+// remote-backed pool so autoscaling dashboards always find the series.
+func writeFleetAggregates(w io.Writer, fleet []rentmin.WorkerStatus, evictions int64) {
+	size, capacity := 0, 0
+	for _, ws := range fleet {
+		if !ws.Removed {
+			size++
+			capacity += ws.Capacity
+		}
+	}
+	fmt.Fprintf(w, "# HELP rentmind_fleet_size Live fleet members (registered and not removed).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_fleet_size gauge\n")
+	fmt.Fprintf(w, "rentmind_fleet_size %d\n", size)
+	fmt.Fprintf(w, "# HELP rentmind_fleet_capacity Summed in-flight capacity of the live fleet.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_fleet_capacity gauge\n")
+	fmt.Fprintf(w, "rentmind_fleet_capacity %d\n", capacity)
+	fmt.Fprintf(w, "# HELP rentmind_worker_evictions_total Fleet members removed by the consecutive-strike threshold.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_worker_evictions_total counter\n")
+	fmt.Fprintf(w, "rentmind_worker_evictions_total %d\n", evictions)
 }
 
 // writeFleet renders the coordinator's per-worker health gauges: one

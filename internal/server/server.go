@@ -3,12 +3,18 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,8 +63,24 @@ type Config struct {
 	// remote-backed pool (rentmin/client.NewFleet over worker daemons)
 	// and every solve and batch item is dispatched across the fleet,
 	// with the workers' health exported on /metrics. Workers defaults to
-	// the pool's capacity.
+	// the pool's capacity (or, with WorkerDialer set, a large lease
+	// table sized for a fleet that grows after boot).
 	SolverPool *rentmin.SolverPool
+	// WorkerDialer, when non-nil, enables live fleet membership on a
+	// coordinator: POST /v1/workers dials the announced endpoint through
+	// it and adds the worker to SolverPool mid-flight.
+	// rentmin/client.NewElasticFleet supplies a dialer sharing the
+	// fleet's backoff schedule.
+	WorkerDialer client.WorkerDialer
+	// HealthInterval, when positive, starts a coordinator health loop
+	// that probes every fleet member each interval; a failed probe takes
+	// a strike (eviction at the fleet's EvictStrikes threshold). Zero
+	// disables probing — dispatch faults alone then drive strikes.
+	HealthInterval time.Duration
+	// ProblemCacheSize bounds the daemon's content-addressed problem
+	// cache (PUT /v1/problems/{hash}) in entries (0 = 256); least
+	// recently used documents are evicted beyond it.
+	ProblemCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,17 +120,28 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.ProblemCacheSize <= 0 {
+		c.ProblemCacheSize = 256
+	}
 	return c
 }
+
+// elasticLeases sizes the lease table of a coordinator whose fleet can
+// grow after boot (Config.WorkerDialer set, Workers unset): the leases
+// must not cap a fleet that registration enlarges, so they are sized
+// generously and the dispatcher's per-worker seat tables do the real
+// admission.
+const elasticLeases = 256
 
 // Server is the rentmind HTTP service. Create it with New, serve it as an
 // http.Handler, and shut it down with BeginDrain + Close (see the package
 // documentation for the full sequence).
 type Server struct {
-	cfg  Config
-	pool *rentmin.SolverPool
-	mux  *http.ServeMux
-	met  *metrics
+	cfg   Config
+	pool  *rentmin.SolverPool
+	mux   *http.ServeMux
+	met   *metrics
+	cache *problemCache
 
 	// slots admits a request into the system (capacity Workers+QueueDepth,
 	// try-acquire → 429); leases let it run on the pool (capacity Workers).
@@ -120,6 +153,10 @@ type Server struct {
 	drainOnce sync.Once
 	closeOnce sync.Once
 
+	// healthDone is closed when the coordinator health loop exits; nil
+	// when no loop runs.
+	healthDone chan struct{}
+
 	queued   atomic.Int64
 	inFlight atomic.Int64
 }
@@ -128,7 +165,11 @@ type Server struct {
 // pre-built one from Config.SolverPool).
 func New(cfg Config) *Server {
 	if cfg.SolverPool != nil && cfg.Workers <= 0 {
-		cfg.Workers = cfg.SolverPool.Workers()
+		if cfg.WorkerDialer != nil {
+			cfg.Workers = elasticLeases
+		} else {
+			cfg.Workers = cfg.SolverPool.Workers()
+		}
 	}
 	cfg = cfg.withDefaults()
 	p := cfg.SolverPool
@@ -140,16 +181,47 @@ func New(cfg Config) *Server {
 		pool:   p,
 		mux:    http.NewServeMux(),
 		met:    newMetrics(),
+		cache:  newProblemCache(cfg.ProblemCacheSize),
 		slots:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		leases: make(chan struct{}, cfg.Workers),
 		drain:  make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("PUT /v1/problems/{hash}", s.handleProblemPut)
+	s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+	s.mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
+	s.mux.HandleFunc("DELETE /v1/workers", s.handleWorkerRemove)
 	s.mux.HandleFunc("GET /v1/capacity", s.handleCapacity)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.HealthInterval > 0 && p.Remote() {
+		s.healthDone = make(chan struct{})
+		go s.healthLoop(cfg.HealthInterval)
+	}
 	return s
+}
+
+// healthLoop is the coordinator's fleet probe: each tick it asks every
+// member for its capacity, striking (and at the threshold, evicting)
+// unresponsive ones and refreshing the capacity of live ones. It stops
+// when the server drains.
+func (s *Server) healthLoop(interval time.Duration) {
+	defer close(s.healthDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.drain:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			for _, name := range s.pool.ProbeWorkers(ctx) {
+				log.Printf("coordinator: evicted unresponsive worker %s (rejoins by re-registering)", name)
+			}
+			cancel()
+		}
+	}
 }
 
 // Workers returns the solver pool size.
@@ -167,7 +239,12 @@ func (s *Server) BeginDrain() {
 // Close), so no handler still needs the pool. Close implies BeginDrain.
 func (s *Server) Close() {
 	s.BeginDrain()
-	s.closeOnce.Do(func() { s.pool.Close() })
+	s.closeOnce.Do(func() {
+		if s.healthDone != nil {
+			<-s.healthDone // probes must not race the pool teardown
+		}
+		s.pool.Close()
+	})
 }
 
 func (s *Server) draining() bool {
@@ -186,10 +263,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(sw, r)
 	endpoint := r.URL.Path
-	switch endpoint {
-	case "/v1/solve", "/v1/batch", "/v1/capacity", "/healthz", "/metrics":
+	switch {
+	case strings.HasPrefix(endpoint, "/v1/problems/"):
+		endpoint = "/v1/problems"
 	default:
-		endpoint = "other"
+		switch endpoint {
+		case "/v1/solve", "/v1/batch", "/v1/capacity", "/v1/workers", "/healthz", "/metrics":
+		default:
+			endpoint = "other"
+		}
 	}
 	s.met.recordRequest(endpoint, sw.code)
 	if sw.code == http.StatusOK && (endpoint == "/v1/solve" || endpoint == "/v1/batch") {
@@ -283,8 +365,13 @@ func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (release func()
 }
 
 // solveTimeLimit resolves a client-requested limit against the server
-// default and maximum.
-func (s *Server) solveTimeLimit(ms int64) time.Duration {
+// default and maximum. A negative limit is a client bug — the Options
+// API can produce one from a negative time.Duration — and is rejected
+// rather than silently swapped for the default.
+func (s *Server) solveTimeLimit(ms int64) (time.Duration, error) {
+	if ms < 0 {
+		return 0, fmt.Errorf("negative time_limit_ms %d", ms)
+	}
 	d := s.cfg.DefaultTimeLimit
 	if ms > 0 {
 		d = time.Duration(ms) * time.Millisecond
@@ -292,7 +379,7 @@ func (s *Server) solveTimeLimit(ms int64) time.Duration {
 	if d > s.cfg.MaxTimeLimit {
 		d = s.cfg.MaxTimeLimit
 	}
-	return d
+	return d, nil
 }
 
 // solveOptions builds the per-solve options. In-process the request
@@ -338,7 +425,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	p, ok := s.parseProblem(w, req.Problem, "")
+	limit, err := s.solveTimeLimit(req.TimeLimitMs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var p *rentmin.Problem
+	var ok bool
+	switch {
+	case req.ProblemRef != nil && len(req.Problem) > 0:
+		s.writeError(w, http.StatusBadRequest, "problem and problem_ref are mutually exclusive")
+		return
+	case req.ProblemRef != nil:
+		p, ok = s.resolveRef(w, *req.ProblemRef, "")
+	default:
+		p, ok = s.parseProblem(w, req.Problem, "")
+	}
 	if !ok {
 		return
 	}
@@ -359,7 +461,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeLimit(req.TimeLimitMs))
+	ctx, cancel := context.WithTimeout(r.Context(), limit)
 	defer cancel()
 	var sol rentmin.Solution
 	opts, err := s.solveOptions(ctx, req.DisableLPWarmStart)
@@ -393,18 +495,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Problems) == 0 {
+	limit, err := s.solveTimeLimit(req.TimeLimitMs)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Problems) > 0 && len(req.ProblemRefs) > 0 {
+		s.writeError(w, http.StatusBadRequest, "problems and problem_refs are mutually exclusive")
+		return
+	}
+	n := len(req.Problems) + len(req.ProblemRefs)
+	if n == 0 {
 		s.writeError(w, http.StatusBadRequest, "batch has no problems")
 		return
 	}
-	if len(req.Problems) > s.cfg.MaxBatch {
+	if n > s.cfg.MaxBatch {
 		s.writeError(w, http.StatusUnprocessableEntity,
-			fmt.Sprintf("batch has %d problems, admission limit is %d", len(req.Problems), s.cfg.MaxBatch))
+			fmt.Sprintf("batch has %d problems, admission limit is %d", n, s.cfg.MaxBatch))
 		return
 	}
-	problems := make([]*rentmin.Problem, len(req.Problems))
-	for i, raw := range req.Problems {
-		p, ok := s.parseProblem(w, raw, fmt.Sprintf("problem %d: ", i))
+	problems := make([]*rentmin.Problem, n)
+	for i := range problems {
+		var p *rentmin.Problem
+		var ok bool
+		if len(req.Problems) > 0 {
+			p, ok = s.parseProblem(w, req.Problems[i], fmt.Sprintf("problem %d: ", i))
+		} else {
+			p, ok = s.resolveRef(w, req.ProblemRefs[i], fmt.Sprintf("problem %d: ", i))
+		}
 		if !ok {
 			return
 		}
@@ -420,7 +538,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer releaseSlot()
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeLimit(req.TimeLimitMs))
+	ctx, cancel := context.WithTimeout(r.Context(), limit)
 	defer cancel()
 	results := s.solveAll(ctx, problems)
 	// Solver statistics are recorded before the disconnect check: the
@@ -511,14 +629,200 @@ func itemError(err error) string {
 
 // handleCapacity reports the daemon's static sizing: what a coordinator
 // needs to know to dispatch against this worker (most importantly the
-// in-flight cap — the solver pool size).
+// in-flight cap — the solver pool size). A draining daemon answers 503:
+// advertising capacity it is about to tear down would enroll it into a
+// fleet moments before it dies, and the coordinator's fleet dial and
+// health probes key off this signal to skip and evict it.
 func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
 	s.writeJSON(w, http.StatusOK, client.Capacity{
 		Workers:         s.cfg.Workers,
 		QueueCapacity:   s.cfg.QueueDepth,
 		MaxBatch:        s.cfg.MaxBatch,
 		PerSolveWorkers: s.cfg.PerSolveWorkers,
 	})
+}
+
+// --- content-addressed problem cache -----------------------------------------
+
+// isProblemHash reports whether s is a plausible cache key: 64 lowercase
+// hex characters (a SHA-256).
+func isProblemHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleProblemPut stores one problem document in the content-addressed
+// cache. The URL hash must match the SHA-256 of the body bytes exactly
+// as received — the uploader hashes what it sends, the daemon verifies
+// what it got — and the document passes the same fuzz-hardened ingestion
+// and admission bounds as an inline problem, so the cache cannot hold
+// anything /v1/solve would reject. Re-uploading an existing hash
+// refreshes its LRU position.
+func (s *Server) handleProblemPut(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	hash := strings.ToLower(r.PathValue("hash"))
+	if !isProblemHash(hash) {
+		s.writeError(w, http.StatusBadRequest, "malformed problem hash: want 64 hex characters (lowercase sha256)")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("read document: %v", err))
+		return
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != hash {
+		s.writeError(w, http.StatusBadRequest, "document bytes do not hash to the requested key")
+		return
+	}
+	p, err := core.ReadProblem(bytes.NewReader(body))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.admit(p); err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.cache.put(hash, p)
+	s.writeJSON(w, http.StatusCreated, map[string]string{"hash": hash})
+}
+
+// resolveRef materializes a problem from the cache, applying the ref's
+// target patch. A hash the daemon does not hold answers 412 — the
+// uploader's signal to PUT the document and retry.
+func (s *Server) resolveRef(w http.ResponseWriter, ref client.ProblemRef, prefix string) (*rentmin.Problem, bool) {
+	hash := strings.ToLower(strings.TrimSpace(ref.Hash))
+	if !isProblemHash(hash) {
+		s.writeError(w, http.StatusBadRequest, prefix+"malformed problem_ref hash: want 64 hex characters (lowercase sha256)")
+		return nil, false
+	}
+	p, ok := s.cache.resolve(hash)
+	if !ok {
+		s.writeError(w, http.StatusPreconditionFailed,
+			prefix+fmt.Sprintf("problem %s not cached: upload it via PUT /v1/problems/{hash} and retry", hash))
+		return nil, false
+	}
+	if ref.Target != nil {
+		p.Target = *ref.Target
+		if err := p.Validate(); err != nil {
+			s.writeError(w, http.StatusBadRequest, prefix+fmt.Sprintf("invalid problem_ref target: %v", err))
+			return nil, false
+		}
+	}
+	return p, true
+}
+
+// --- fleet membership --------------------------------------------------------
+
+// coordinator guards the membership endpoints: they only mean something
+// on a daemon dispatching to a remote fleet with a dialer to admit new
+// members.
+func (s *Server) coordinator(w http.ResponseWriter) bool {
+	if s.cfg.WorkerDialer == nil || !s.pool.Remote() {
+		s.writeError(w, http.StatusNotImplemented,
+			"this daemon is not a coordinator: fleet membership needs a remote-backed solver pool")
+		return false
+	}
+	return true
+}
+
+// fleetResponse snapshots the fleet in wire form.
+func (s *Server) fleetResponse() client.FleetResponse {
+	stats := s.pool.WorkerStats()
+	resp := client.FleetResponse{Workers: make([]client.FleetWorker, len(stats))}
+	for i, ws := range stats {
+		resp.Workers[i] = client.FleetWorker{
+			Endpoint:   ws.Name,
+			Capacity:   ws.Capacity,
+			InFlight:   ws.InFlight,
+			Dispatched: ws.Dispatched,
+			Succeeded:  ws.Succeeded,
+			Faults:     ws.Faults,
+			Healthy:    ws.Healthy,
+			Removed:    ws.Removed,
+		}
+	}
+	return resp
+}
+
+// handleWorkerRegister admits a worker into the coordinator's fleet: the
+// announced endpoint is dialed (capacity discovery doubles as the
+// reachability check) and added to the dispatcher mid-flight, waking any
+// batch starved of seats. Registration is idempotent — re-announcing
+// refreshes capacity, and an evicted worker rejoins with clean health —
+// so workers re-register on an interval rather than exactly once.
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	if s.draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if !s.coordinator(w) {
+		return
+	}
+	var req client.RegisterWorkerRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	ep := strings.TrimRight(strings.TrimSpace(req.Endpoint), "/")
+	u, err := url.Parse(ep)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("worker endpoint %q is not an absolute http(s) URL", req.Endpoint))
+		return
+	}
+	if _, err := s.pool.AddRemoteWorker(r.Context(), s.cfg.WorkerDialer(ep)); err != nil {
+		// The worker announced itself but cannot answer /v1/capacity (or
+		// is draining): leave the fleet unchanged and let it try again.
+		s.writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.fleetResponse())
+}
+
+// handleWorkerList reports the coordinator's fleet, removed members
+// included (flagged), so operators see eviction history next to live
+// capacity.
+func (s *Server) handleWorkerList(w http.ResponseWriter, r *http.Request) {
+	if !s.coordinator(w) {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.fleetResponse())
+}
+
+// handleWorkerRemove takes a worker out of the fleet by endpoint
+// (?endpoint=...): an operator draining a box ahead of the health loop
+// noticing. In-flight solves on it finish or re-dispatch; it may rejoin
+// by registering again.
+func (s *Server) handleWorkerRemove(w http.ResponseWriter, r *http.Request) {
+	if !s.coordinator(w) {
+		return
+	}
+	ep := strings.TrimRight(strings.TrimSpace(r.URL.Query().Get("endpoint")), "/")
+	if ep == "" {
+		s.writeError(w, http.StatusBadRequest, "missing endpoint query parameter")
+		return
+	}
+	if !s.pool.RemoveRemoteWorker(ep) {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("worker %q is not a live fleet member", ep))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.fleetResponse())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -544,7 +848,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		queueDepth: int(s.queued.Load()),
 		inFlight:   int(s.inFlight.Load()),
 		draining:   s.draining(),
+		remote:     s.pool.Remote(),
 		fleet:      s.pool.WorkerStats(), // nil unless remote-backed
+		evictions:  s.pool.WorkerEvictions(),
+		cache:      s.cache.stats(),
 	})
 }
 

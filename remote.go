@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"rentmin/internal/pool"
@@ -62,8 +63,16 @@ type RemoteConfig struct {
 	Backoff func(strike int) time.Duration
 	// MaxAttempts bounds how many workers one problem may be dispatched
 	// to before its last fault is reported as the problem's error (zero:
-	// 3 per worker, at least 4).
+	// 3 per worker, at least 4, tracking the fleet as it grows and
+	// shrinks).
 	MaxAttempts int
+	// EvictStrikes, when positive, evicts a worker from the fleet once
+	// its consecutive strikes (dispatch faults plus health-probe
+	// failures) reach the threshold. Zero keeps the fixed-fleet
+	// behaviour: faulting workers only back off. An evicted worker
+	// rejoins with clean health via AddRemoteWorker — a coordinator pairs
+	// eviction with worker re-registration.
+	EvictStrikes int
 }
 
 // WorkerStatus is a point-in-time snapshot of one remote worker's health
@@ -82,6 +91,10 @@ type WorkerStatus struct {
 	Faults     int64
 	// Healthy is false while the worker is backing off after faults.
 	Healthy bool
+	// Removed is true once the worker has left the fleet (manual removal
+	// or strike eviction); its counters are retained so dashboards keep
+	// the history and a rejoin resumes them.
+	Removed bool
 }
 
 // NewRemoteSolverPool builds a SolverPool whose capacity is a fleet of
@@ -111,20 +124,163 @@ func NewRemoteSolverPool(ctx context.Context, workers []RemoteWorker, cfg *Remot
 		}
 		specs[i] = pool.RemoteSpec{Name: w.Name(), Capacity: c}
 	}
+	rp, err := pool.NewRemote(specs, poolConfig(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("rentmin: %w", err)
+	}
+	return &SolverPool{pool: rp, remote: workers, isRemote: true}, nil
+}
+
+func poolConfig(cfg *RemoteConfig) pool.RemoteConfig {
 	var pcfg pool.RemoteConfig
 	if cfg != nil {
 		pcfg.Backoff = cfg.Backoff
 		pcfg.MaxAttempts = cfg.MaxAttempts
+		pcfg.EvictStrikes = cfg.EvictStrikes
 	}
-	rp, err := pool.NewRemote(specs, pcfg)
+	return pcfg
+}
+
+// NewElasticSolverPool builds a remote-backed SolverPool with no initial
+// members: grow the fleet with AddRemoteWorker as workers register (the
+// coordinator's POST /v1/workers path) and shrink it with
+// RemoveRemoteWorker or the EvictStrikes threshold. Solves pushed
+// through an empty fleet park until a member joins or their context is
+// cancelled. Everything else — batch ordering, fault re-dispatch,
+// cancellation — matches NewRemoteSolverPool.
+func NewElasticSolverPool(cfg *RemoteConfig) *SolverPool {
+	rp, _ := pool.NewRemote(nil, poolConfig(cfg))
+	return &SolverPool{pool: rp, isRemote: true}
+}
+
+// AddRemoteWorker adds a worker to a remote-backed pool's fleet (or
+// revives/refreshes one with the same name), mid-batch if need be:
+// schedulers starved of capacity immediately dispatch queued items onto
+// it. The worker's capacity is discovered under ctx; a discovery failure
+// leaves the fleet unchanged. It returns the worker's stable fleet
+// index.
+//
+// Re-adding a name that already has a transport installed keeps the
+// existing transport: registration is a periodic, idempotent announce,
+// and the installed transport carries per-worker state worth preserving
+// (the content-cache upload dedup — replacing it on every re-announce
+// would re-upload every problem document). The new transport object is
+// simply dropped; capacity is still refreshed.
+func (p *SolverPool) AddRemoteWorker(ctx context.Context, w RemoteWorker) (int, error) {
+	rp, ok := p.pool.(*pool.RemotePool)
+	if !ok {
+		return 0, errors.New("rentmin: AddRemoteWorker on a non-remote pool")
+	}
+	c, err := w.Capacity(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("rentmin: %w", err)
+		return 0, fmt.Errorf("rentmin: discover capacity of worker %s: %w", w.Name(), err)
 	}
-	return &SolverPool{pool: rp, remote: workers}, nil
+	if c < 1 {
+		c = 1
+	}
+	// Install the transport before the seats open: AddWorker wakes
+	// parked schedulers, and a dispatch racing in must find p.remote[idx]
+	// populated — dispatch's read lock orders it after this critical
+	// section.
+	p.remoteMu.Lock()
+	defer p.remoteMu.Unlock()
+	idx := rp.AddWorker(pool.RemoteSpec{Name: w.Name(), Capacity: c})
+	for len(p.remote) <= idx {
+		p.remote = append(p.remote, nil)
+	}
+	if p.remote[idx] == nil || p.remote[idx].Name() != w.Name() {
+		p.remote[idx] = w
+	}
+	return idx, nil
+}
+
+// RemoveRemoteWorker takes the named worker out of the fleet; in-flight
+// solves on it finish (or fault and re-dispatch), queued items flow to
+// the remaining members. It reports whether a live member was removed.
+func (p *SolverPool) RemoveRemoteWorker(name string) bool {
+	rp, ok := p.pool.(*pool.RemotePool)
+	if !ok {
+		return false
+	}
+	return rp.RemoveWorker(name)
+}
+
+// ProbeWorkers health-checks every active fleet member by asking it for
+// its capacity under ctx. A failed probe takes a strike against the
+// worker — backoff, and eviction at the configured EvictStrikes
+// threshold — without polluting its dispatch fault counters; a
+// successful probe refreshes the worker's capacity if it changed. It
+// returns the names evicted by this round, and nil for a non-remote
+// pool. Probes run concurrently so every member gets ctx's full budget —
+// a sequential round would let one slow member starve the probes behind
+// it into spurious strikes.
+func (p *SolverPool) ProbeWorkers(ctx context.Context) (evicted []string) {
+	rp, ok := p.pool.(*pool.RemotePool)
+	if !ok {
+		return nil
+	}
+	specs := rp.Specs()
+	results := make([]struct {
+		cap int
+		err error
+	}, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		w := p.remoteWorkerByName(s.Name)
+		if w == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, w RemoteWorker) {
+			defer wg.Done()
+			results[i].cap, results[i].err = w.Capacity(ctx)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, s := range specs {
+		if p.remoteWorkerByName(s.Name) == nil {
+			continue
+		}
+		if results[i].err != nil {
+			if rp.Strike(s.Name) {
+				evicted = append(evicted, s.Name)
+			}
+			continue
+		}
+		c := results[i].cap
+		if c < 1 {
+			c = 1
+		}
+		if c != s.Capacity {
+			rp.AddWorker(pool.RemoteSpec{Name: s.Name, Capacity: c})
+		}
+	}
+	return evicted
+}
+
+// WorkerEvictions counts fleet members removed by the strike threshold
+// since the pool was created; zero for a non-remote pool.
+func (p *SolverPool) WorkerEvictions() int64 {
+	if rp, ok := p.pool.(*pool.RemotePool); ok {
+		return rp.Evictions()
+	}
+	return 0
+}
+
+// remoteWorkerByName finds the transport for a named fleet member.
+func (p *SolverPool) remoteWorkerByName(name string) RemoteWorker {
+	p.remoteMu.RLock()
+	defer p.remoteMu.RUnlock()
+	for _, w := range p.remote {
+		if w != nil && w.Name() == name {
+			return w
+		}
+	}
+	return nil
 }
 
 // Remote reports whether the pool dispatches to remote workers.
-func (p *SolverPool) Remote() bool { return p.remote != nil }
+func (p *SolverPool) Remote() bool { return p.isRemote }
 
 // WorkerStats snapshots per-worker health of a remote-backed pool; it
 // returns nil for a local pool.
@@ -143,7 +299,8 @@ func (p *SolverPool) WorkerStats() []WorkerStatus {
 			Dispatched: s.Dispatched,
 			Succeeded:  s.Succeeded,
 			Faults:     s.Faults,
-			Healthy:    !s.BackingOff,
+			Healthy:    !s.BackingOff && !s.Removed,
+			Removed:    s.Removed,
 		}
 	}
 	return out
@@ -154,12 +311,20 @@ func (p *SolverPool) WorkerStats() []WorkerStatus {
 // called from inside a pool task (the remote pool annotates the task
 // context with the worker assignment).
 func (p *SolverPool) dispatch(ctx context.Context, prob *Problem, opts *SolveOptions) (Solution, error) {
-	if p.remote == nil {
+	if !p.isRemote {
 		return SolveContext(ctx, prob, opts)
 	}
 	w, ok := pool.AssignedWorker(ctx)
-	if !ok || w < 0 || w >= len(p.remote) {
+	var rw RemoteWorker
+	if ok && w >= 0 {
+		p.remoteMu.RLock()
+		if w < len(p.remote) {
+			rw = p.remote[w]
+		}
+		p.remoteMu.RUnlock()
+	}
+	if rw == nil {
 		return Solution{}, errors.New("rentmin: remote dispatch outside a pool task")
 	}
-	return p.remote[w].Solve(ctx, prob, opts)
+	return rw.Solve(ctx, prob, opts)
 }

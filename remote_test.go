@@ -156,6 +156,48 @@ func TestRemoteSolverPoolSingleSolve(t *testing.T) {
 	}
 }
 
+// TestReregisterKeepsTransport: re-adding a worker under a name that
+// already has a transport installed must keep the existing transport —
+// registration is a periodic announce, and replacing the transport on
+// every re-announce would reset per-transport state (the HTTP worker's
+// content-cache upload dedup). Dispatches after the re-add must land on
+// the original object.
+func TestReregisterKeepsTransport(t *testing.T) {
+	original := &stubWorker{name: "w0", cap: 2}
+	pool := remotePool(t, original)
+
+	replacement := &stubWorker{name: "w0", cap: 2}
+	if _, err := pool.AddRemoteWorker(context.Background(), replacement); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+
+	p := rentmin.IllustratingExample()
+	p.Target = 70
+	if _, err := pool.SolveContext(context.Background(), p, nil); err != nil {
+		t.Fatalf("SolveContext after re-register: %v", err)
+	}
+	if got := original.solves.Load(); got != 1 {
+		t.Errorf("original transport solved %d problems, want 1", got)
+	}
+	if got := replacement.solves.Load(); got != 0 {
+		t.Errorf("replacement transport solved %d problems, want 0 (must be dropped)", got)
+	}
+
+	// A genuinely new name still installs its own transport: with the
+	// original worker dead, a solve can only succeed through the joiner.
+	original.dead.Store(true)
+	joiner := &stubWorker{name: "w1", cap: 1}
+	if _, err := pool.AddRemoteWorker(context.Background(), joiner); err != nil {
+		t.Fatalf("add joiner: %v", err)
+	}
+	if _, err := pool.SolveContext(context.Background(), p, nil); err != nil {
+		t.Fatalf("SolveContext after join: %v", err)
+	}
+	if joiner.solves.Load() != 1 {
+		t.Errorf("joiner solved %d problems, want 1 (re-dispatch from the dead original)", joiner.solves.Load())
+	}
+}
+
 // TestRemoteSolverPoolCapacityDiscoveryFailure: a fleet member that
 // cannot report capacity fails construction, by name.
 func TestRemoteSolverPoolCapacityDiscoveryFailure(t *testing.T) {

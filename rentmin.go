@@ -55,6 +55,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
 	"rentmin/internal/core"
@@ -242,10 +243,16 @@ func SolveContext(ctx context.Context, p *Problem, opts *SolveOptions) (Solution
 // semantics, cancellation and partial results are identical either way.
 type SolverPool struct {
 	pool pool.Pool
-	// remote, when non-nil, routes every solve to a fleet of rentmind
-	// worker daemons instead of in-process goroutines; see
-	// NewRemoteSolverPool (remote.go).
-	remote []RemoteWorker
+	// isRemote marks a pool that routes every solve to a fleet of
+	// rentmind worker daemons instead of in-process goroutines; see
+	// NewRemoteSolverPool and NewElasticSolverPool (remote.go).
+	isRemote bool
+	// remote maps the fleet index assigned by the dispatcher to the
+	// worker transport. Guarded by remoteMu: the fleet is elastic, so
+	// AddRemoteWorker grows it while dispatches read it. Indexes are
+	// stable — removal tombstones in the dispatcher, it never renumbers.
+	remoteMu sync.RWMutex
+	remote   []RemoteWorker
 }
 
 // NewSolverPool starts a pool that solves up to workers problems
