@@ -503,6 +503,83 @@ func BenchmarkILPBoundedVsRowBounds(b *testing.B) {
 	b.Run("rowbounds", func(b *testing.B) { run(b, rowProb) })
 }
 
+// --- Dense vs sparse pivot kernels -------------------------------------------
+
+// largeSparseInstance generates a pathological instance for the dense
+// tableau kernel: 120 recipe alternatives of 1-3 tasks each over 200
+// machine types. The MILP relaxation has ~200 rows × ~520 columns but
+// each capacity row touches only the handful of graphs whose tasks use
+// that type, so the constraint matrix is ~99% zeros — dense pivots
+// rewrite the whole m×n tableau anyway, while the sparse revised
+// simplex pays per nonzero.
+func largeSparseInstance(b *testing.B) *core.CostModel {
+	b.Helper()
+	p, err := graphgen.Generate(graphgen.Config{
+		NumGraphs: 120, MinTasks: 1, MaxTasks: 3,
+		MutatePercent: 1.0, NumTypes: 200,
+		CostMin: 1, CostMax: 100,
+		ThroughputMin: 2, ThroughputMax: 12,
+	}, rng.New(0x5BA2).Sub('c', 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewCostModel(p)
+}
+
+// BenchmarkILPSparseKernel pits the two LP pivot kernels against each
+// other on the same exact solves: the Fig. 8-scale instance (the dense
+// kernel's home turf — small, dense-ish relaxations) and the large
+// sparse instance above (where per-pivot m×n tableau rewrites dominate
+// the dense kernel and the factorized-basis kernel should win on
+// wall-clock). Sequential search so nodes/op and simplex-iters/op are
+// exactly reproducible; CI gates both metrics per sub-benchmark via
+// BENCH_baseline.json, and the dense/sparse ns/op pairs document the
+// crossover.
+func BenchmarkILPSparseKernel(b *testing.B) {
+	cases := []struct {
+		name      string
+		m         *core.CostModel
+		target    int
+		nodeLimit int
+	}{
+		{"fig8", fig8Instance(b), 120, 150},
+		{"large", largeSparseInstance(b), 60, 40},
+	}
+	kernels := []struct {
+		name string
+		kind lp.KernelKind
+	}{
+		{"dense", lp.KernelDense},
+		{"sparse", lp.KernelSparse},
+	}
+	for _, c := range cases {
+		cost := int64(-1) // both kernels must land on the same incumbent
+		for _, k := range kernels {
+			b.Run(c.name+"/"+k.name, func(b *testing.B) {
+				iters, nodes := 0, 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := solve.ILP(c.m, c.target, &solve.ILPOptions{
+						Workers: 1, NodeLimit: c.nodeLimit, LPKernel: k.kind,
+					})
+					if err != nil {
+						b.Fatalf("ILP (%s kernel): %v", k.name, err)
+					}
+					if cost < 0 {
+						cost = res.Alloc.Cost
+					} else if res.Alloc.Cost != cost {
+						b.Fatalf("%s kernel cost %d, other kernel found %d", k.name, res.Alloc.Cost, cost)
+					}
+					iters += res.LPIterations
+					nodes += res.Nodes
+				}
+				b.ReportMetric(float64(iters)/float64(b.N), "simplex-iters/op")
+				b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+			})
+		}
+	}
+}
+
 // --- Component micro-benchmarks ----------------------------------------------
 
 // BenchmarkCostEval measures one shared-type cost evaluation on a

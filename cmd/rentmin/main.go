@@ -5,8 +5,8 @@
 // Usage:
 //
 //	rentmin -problem instance.json [-target 70] [-algo ilp|h0|h1|h2|h31|h32|h32jump]
-//	        [-time-limit 10s] [-workers 8] [-lp-warm=false] [-seed 1] [-delta 10]
-//	        [-iterations 2000] [-simulate] [-sim-duration 60]
+//	        [-time-limit 10s] [-workers 8] [-lp-warm=false] [-lp-kernel dense|sparse]
+//	        [-seed 1] [-delta 10] [-iterations 2000] [-simulate] [-sim-duration 60]
 //
 // The tool prints the chosen per-graph throughput split, the machines to
 // rent per type, and the hourly cost; with -simulate it also validates the
@@ -34,6 +34,7 @@ func main() {
 	timeLimit := flag.Duration("time-limit", 0, "branch-and-bound budget for -algo ilp (0 = unlimited)")
 	workers := flag.Int("workers", 0, "parallel branch-and-bound workers for -algo ilp (0 = GOMAXPROCS, 1 = sequential)")
 	lpWarm := flag.Bool("lp-warm", true, "dual-simplex LP warm starts inside branch and bound for -algo ilp (false = cold re-solves)")
+	lpKernel := flag.String("lp-kernel", "auto", "simplex pivot kernel for -algo ilp: auto, dense, sparse (auto = RENTMIN_LP_KERNEL or dense)")
 	seed := flag.Uint64("seed", 1, "seed for stochastic heuristics")
 	delta := flag.Int("delta", 0, "exchange quantum for iterative heuristics (0 = auto)")
 	iterations := flag.Int("iterations", 0, "iteration budget for iterative heuristics (0 = default)")
@@ -61,6 +62,7 @@ func main() {
 			TimeLimit:          *timeLimit,
 			Workers:            *workers,
 			DisableLPWarmStart: !*lpWarm,
+			LPKernel:           *lpKernel,
 		})
 		if err != nil {
 			log.Fatalf("solve: %v", err)

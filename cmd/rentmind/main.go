@@ -9,7 +9,7 @@
 //	         [-max-graphs 64] [-max-types 256] [-max-tasks 8192]
 //	         [-max-target 1000000] [-max-batch 64] [-max-body 16777216]
 //	         [-default-time-limit 10s] [-max-time-limit 60s]
-//	         [-shutdown-grace 30s] [-problem-cache 256]
+//	         [-shutdown-grace 30s] [-problem-cache 256] [-lp-kernel dense|sparse]
 //	         [-coordinator] [-workers-endpoints http://w1:8080,http://w2:8080]
 //	         [-workers-wait 15s] [-evict-strikes 3] [-health-interval 5s]
 //	         [-register http://coord:8080 -advertise http://me:8080
@@ -76,6 +76,7 @@ import (
 
 	"rentmin"
 	"rentmin/client"
+	"rentmin/internal/lp"
 	"rentmin/internal/server"
 )
 
@@ -105,7 +106,14 @@ func main() {
 	register := flag.String("register", "", "coordinator base URL to register this worker with, at boot and every -register-interval")
 	advertise := flag.String("advertise", "", "this worker's own base URL as the coordinator should dial it (required with -register)")
 	registerInterval := flag.Duration("register-interval", 15*time.Second, "how often to re-announce to the -register coordinator (re-registration is idempotent and revives an evicted worker)")
+	lpKernel := flag.String("lp-kernel", "auto", "simplex pivot kernel for every solve in this process: auto, dense, sparse (auto = RENTMIN_LP_KERNEL or dense)")
 	flag.Parse()
+
+	kernel, err := lp.ParseKernel(*lpKernel)
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	lp.SetDefaultKernel(kernel)
 
 	cfg := server.Config{
 		Workers:          *workers,

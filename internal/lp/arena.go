@@ -1,0 +1,127 @@
+package lp
+
+// arena is a carve-from-one-buffer allocator for the dense tableau's
+// per-solve state. SolveGomory re-solves a growing problem once per cut
+// round; without reuse every round reallocates an m×total tableau plus
+// its side slices. An arena amortizes that: reset() rewinds the carve
+// offsets, and the next tableau reuses the same backing buffers (carved
+// slices are cleared on carve — a restore may pivot before setObjective
+// zeroes the cost row, so stale values must never leak between rounds).
+//
+// Buffers grow geometrically when a carve does not fit; reserve() sizes
+// them up front so a loop with a known final shape never grows after its
+// first round. Slices carved from an arena are only valid until the next
+// reset — anything that escapes into a Solution (X, Duals, snapshots) is
+// allocated with plain make.
+type arena struct {
+	f    []float64
+	i    []int
+	b    []bool
+	rows [][]float64
+	nf   int // carve offsets
+	ni   int
+	nb   int
+	nr   int
+
+	resets    int
+	lateGrows int // buffer growths after the first reset (0 = reuse worked)
+}
+
+// reset rewinds the arena for the next tableau.
+func (a *arena) reset() {
+	a.nf, a.ni, a.nb, a.nr = 0, 0, 0, 0
+	a.resets++
+}
+
+func (a *arena) grew() {
+	if a.resets > 1 {
+		a.lateGrows++
+	}
+}
+
+// reserve pre-sizes the buffers (counts of float64s, ints, bools and
+// row headers) so subsequent carves never grow them.
+func (a *arena) reserve(nf, ni, nb, nr int) {
+	if cap(a.f) < nf {
+		a.f = make([]float64, nf)
+	}
+	if cap(a.i) < ni {
+		a.i = make([]int, ni)
+	}
+	if cap(a.b) < nb {
+		a.b = make([]bool, nb)
+	}
+	if cap(a.rows) < nr {
+		a.rows = make([][]float64, nr)
+	}
+}
+
+// floats carves a zeroed []float64 of length k.
+func (a *arena) floats(k int) []float64 {
+	if a.nf+k > cap(a.f) {
+		a.grew()
+		n := 2 * cap(a.f)
+		if n < a.nf+k {
+			n = a.nf + k
+		}
+		a.f = make([]float64, n)
+		a.nf = 0
+	}
+	s := a.f[a.nf : a.nf+k : a.nf+k]
+	a.nf += k
+	clear(s)
+	return s
+}
+
+// ints carves a zeroed []int of length k.
+func (a *arena) ints(k int) []int {
+	if a.ni+k > cap(a.i) {
+		a.grew()
+		n := 2 * cap(a.i)
+		if n < a.ni+k {
+			n = a.ni + k
+		}
+		a.i = make([]int, n)
+		a.ni = 0
+	}
+	s := a.i[a.ni : a.ni+k : a.ni+k]
+	a.ni += k
+	clear(s)
+	return s
+}
+
+// bools carves a zeroed []bool of length k.
+func (a *arena) bools(k int) []bool {
+	if a.nb+k > cap(a.b) {
+		a.grew()
+		n := 2 * cap(a.b)
+		if n < a.nb+k {
+			n = a.nb + k
+		}
+		a.b = make([]bool, n)
+		a.nb = 0
+	}
+	s := a.b[a.nb : a.nb+k : a.nb+k]
+	a.nb += k
+	clear(s)
+	return s
+}
+
+// rowSlice carves a zeroed [][]float64 of length k (tableau row headers).
+func (a *arena) rowSlice(k int) [][]float64 {
+	if a.nr+k > cap(a.rows) {
+		a.grew()
+		n := 2 * cap(a.rows)
+		if n < a.nr+k {
+			n = a.nr + k
+		}
+		a.rows = make([][]float64, n)
+		a.nr = 0
+	}
+	s := a.rows[a.nr : a.nr+k : a.nr+k]
+	a.nr += k
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}

@@ -1,5 +1,5 @@
-// Package lp implements a dense bounded-variable two-phase simplex solver
-// for linear programs in the form
+// Package lp implements a two-phase simplex solver for linear programs
+// in the form
 //
 //	minimize    c·x
 //	subject to  A_i·x {<=,>=,=} b_i   for every constraint i
@@ -9,91 +9,108 @@
 // default when no bounds are given. It is the linear-programming
 // substrate under the branch-and-bound MILP solver (package milp), which
 // together replace the commercial ILP solver (Gurobi) used by the paper.
-// The implementation favours robustness at the modest sizes of the
-// paper's instances: dense tableau storage, Dantzig pricing with an
-// automatic switch to Bland's rule for anti-cycling, and a phase-1
-// artificial-variable start. See the repository's ARCHITECTURE.md for
-// where this package sits in the stack.
+// See the repository's ARCHITECTURE.md for where this package sits in
+// the stack.
 //
-// # Solver internals
+// # Pivot kernels
 //
-// Solve runs the classic two-phase primal pipeline. The tableau is built
-// with one slack/surplus column per inequality row and one artificial
-// column per row that lacks an identity start (GE and EQ rows); all rows
-// share a single backing arena so a solve touches one allocation and no
-// memory outside its own tableau. Phase 1 minimizes the artificial sum,
-// evicts leftover basic artificials (marking linearly dependent rows
-// redundant), and phase 2 re-prices the true objective with artificials
-// forbidden from re-entering.
+// The simplex mechanics live behind a pluggable pivot kernel, selected
+// per solve with Options.Kernel (or process-wide with SetDefaultKernel /
+// the RENTMIN_LP_KERNEL environment variable; see KernelKind). The two
+// kernels are independent implementations of the same contract — same
+// statuses, same optimal objectives, interchangeable basis snapshots —
+// and differ only in how they represent the problem and the basis:
 //
-// # Bounds in the ratio test, not the tableau
+//   - KernelDense (the default) is a dense bounded-variable tableau.
+//     Every pivot rewrites an explicit m×n tableau, which favours
+//     robustness and cache-friendliness at the modest sizes of the
+//     paper's instances.
+//   - KernelSparse is a sparse revised simplex: column-major (CSC)
+//     storage of the constraint matrix, an LU-style product-form
+//     factorization of the basis updated with eta files and periodically
+//     refactorized, and Dantzig pricing over reduced costs obtained by
+//     BTRAN. Per-iteration work scales with the matrix's nonzero count
+//     instead of m×n, which wins on large, sparse instances (many
+//     recipe graphs over many machine types).
+//
+// Solve, SolveFrom and SolveGomory all route through a Solver value
+// constructed from a Problem; NewSolver exposes the same dispatch for
+// callers that want to hold one. Status values map to typed sentinel
+// errors (ErrInfeasible, ErrUnbounded, ErrIterLimit) via Status.Err, so
+// callers can errors.Is against outcomes that cross API layers.
+//
+// # The dense kernel
+//
+// The dense tableau is built with one slack/surplus column per
+// inequality row and one artificial column per row that lacks an
+// identity start (GE and EQ rows); all rows share a single backing arena
+// so a solve touches one allocation and no memory outside its own
+// tableau. Phase 1 minimizes the artificial sum, evicts leftover basic
+// artificials (marking linearly dependent rows redundant), and phase 2
+// re-prices the true objective with artificials forbidden from
+// re-entering.
 //
 // Variable bounds never become constraint rows. The tableau works in
 // shifted coordinates y_j = x_j - lo_j, so every variable has lower
 // bound 0 and capacity cap_j = hi_j - lo_j, and a nonbasic variable
 // resting at its upper bound is complemented: its column and reduced
-// cost are negated and the basic values absorb cap_j, so the
-// complemented variable again counts up from zero. Every nonbasic
-// variable therefore sits at 0, and the pivot kernel is the classic one;
-// bounds surface in exactly three places:
+// cost are negated and the basic values absorb cap_j. Every nonbasic
+// variable therefore sits at 0 and the pivot kernel is the classic one;
+// bounds surface only in the two-sided ratio tests and the O(m) bound
+// flips. Entering columns use Dantzig pricing until a stall window
+// expires, then Bland's rule; all degeneracy decisions share one
+// loosened tolerance (degenTol, the square root of the pricing
+// tolerance).
 //
-//   - the primal ratio test is two-sided: a basic variable blocks the
-//     entering step either by falling to 0 (basic-leaves-at-lo) or by
-//     climbing to its finite capacity (basic-leaves-at-hi, handled by
-//     complementing the row and pivoting normally);
-//   - the entering variable's own capacity competes with both: when
-//     cap_j is the smallest ratio the iteration is a bound flip — an
-//     O(m) column complement with no pivot at all;
-//   - the dual ratio test treats a basic value above its capacity
-//     exactly like one below zero, by complementing the row first.
+// # The sparse kernel
 //
-// Entering columns use Dantzig pricing until a stall window expires,
-// then Bland's rule; leaving rows use the minimum-ratio test with a
-// lexicographic (smallest basis index) tie-break. All degeneracy
-// decisions — ratio ties, phase-1 feasibility, artificial eviction,
-// warm-start verification — share one loosened tolerance (degenTol, the
-// square root of the pricing tolerance), so the solver cannot judge the
-// same quantity "zero" in one place and "nonzero" in another.
+// The sparse kernel works in original coordinates on the equality form
+// A·x + s = b, one slack column per row with bounds encoding the row
+// sense (LE: [0,inf), GE: (-inf,0], EQ: fixed 0). The basis is held as
+// a product-form factorization (eta.go): Gauss–Jordan base etas with
+// partial pivoting from the last refactorization plus one update eta
+// per basis exchange, rebuilt every refactorEvery updates. Each
+// iteration prices with one BTRAN, FTRANs the entering column, and runs
+// the same two-sided bounded ratio test; duals fall out of BTRAN in
+// original row space with no extra bookkeeping.
+//
+// Phase 1 needs no artificial columns: the all-slack basis is always a
+// basis, and each basic variable that violates a bound has that bound
+// temporarily relaxed toward the violated side (clamped at the violated
+// bound) with a unit cost on the excursion. Minimizing drives the
+// violations to zero exactly when the problem is feasible; a relaxed
+// variable that lands on its clamp gets its true bounds re-armed on the
+// spot, so later pivots can move it into the feasible interior.
 //
 // # Warm starts
 //
 // SolveFrom adds the dual-simplex re-optimization path that the
 // branch-and-bound solver leans on. An optimal Solve records its basis
-// as Solution.Basis, encoded shape-stably (structural column index, or
-// "the slack/surplus of row i") together with the set of complemented
-// columns — the snapshot names a vertex, and without the complement set
-// the restore would land on a different one. SolveFrom restores that
-// basis into a fresh tableau of the perturbed problem — re-applying the
-// complements, then one Gaussian-elimination pivot per changed basis
-// column — and runs dual simplex: while some basic value is outside its
-// bounds, the most violated row leaves (complemented first if it sits
-// above its capacity) and the dual ratio test picks the entering column,
-// repairing primal feasibility while preserving the dual feasibility
-// inherited from the parent optimum.
+// as Solution.Basis — an opaque BasisSnapshot naming the basic column of
+// each row (structural index, or "the slack/surplus of row i") plus the
+// set of columns resting at their upper bound. The encoding is
+// kernel-neutral and shape-stable: either kernel restores either
+// kernel's snapshot, and appended rows (branch-and-bound bound rows)
+// enter with their own slack basic. The dense kernel restores by
+// Gaussian-elimination pivots into a fresh tableau; the sparse kernel
+// restores by refactorizing the named columns, which is numerically
+// fresh by construction.
 //
-// This is why branch-and-bound children stay dual feasible: reduced
-// costs depend on the basis and the cost vector, never on b, lo or hi.
-// A child that tightens one variable bound keeps the parent's reduced
-// costs unchanged — only the restored point can fall outside the new
-// bounds, and that is precisely the violation the dual simplex repairs.
-// Because the bound is not a row, the child tableau has the same m×n
-// shape as the parent's and the restore needs no extra pivots for it.
-//
-// A short primal polish cleans roundoff, and the result is verified
-// (bounds and dual feasibility) before being reported. The fallback
-// ladder: any rejection along the way — nil, mismatched or singular
-// basis, a complemented column whose upper bound disappeared, lost dual
-// feasibility, an iteration cap, or a failed final verification — falls
-// back transparently to the cold two-phase Solve, with the rejected
-// attempt's pivots still counted in Solution.Iterations so warm-vs-cold
-// comparisons stay honest. SolveFrom is therefore never less robust than
-// Solve, only usually much cheaper: a branch-and-bound child typically
-// costs a handful of dual pivots against a full phase-1/phase-2
-// re-solve.
+// The restored basis stays dual feasible across bound changes because
+// reduced costs depend on the basis and the cost vector, never on b, lo
+// or hi. Dual-simplex pivots repair primal feasibility, a short primal
+// polish cleans roundoff, and the result is verified (bounds and dual
+// feasibility) before being reported. Any rejection along the way —
+// nil, mismatched or singular basis, lost dual feasibility, an
+// iteration cap, a failed final verification — falls back transparently
+// to the cold two-phase Solve, with the rejected attempt's pivots still
+// counted in Solution.Iterations so warm-vs-cold comparisons stay
+// honest.
 //
 // SolveGomory layers fractional cutting planes on top of Solve for pure
 // integer programs with integral data and default bounds; the milp
-// package applies it at the root of the branch-and-bound tree (where
-// bounds are still the defaults) and shares the generated cuts with
-// every node.
+// package applies it at the root of the branch-and-bound tree. Cut
+// extraction reads dense tableau rows, so the cut loop always runs on
+// the dense kernel, re-solving the growing problem through one reusable
+// allocation arena across rounds.
 package lp

@@ -17,15 +17,17 @@ import (
 // rows, and typically only a handful of pivots instead of a full
 // two-phase solve.
 
-// Basis is a compact snapshot of a simplex basis, taken from an optimal
-// solve (Solution.Basis) and restorable onto a related problem via
-// SolveFrom. The encoding is shape-stable: each entry names the basic
-// column either as a structural variable index or as "the slack/surplus
-// column of constraint row i", so it survives appending rows (which
-// shifts raw auxiliary column indices). The snapshot also records which
-// structural columns were complemented (resting at, or measured from,
-// their upper bound) — without that set the restored point would be a
-// different vertex than the one the basis was optimal at.
+// Basis is the dense kernel's BasisSnapshot: a compact snapshot of a
+// simplex basis, taken from an optimal solve (Solution.Basis) and
+// restorable onto a related problem via SolveFrom. The encoding is
+// shape-stable: each entry names the basic column either as a structural
+// variable index or as "the slack/surplus column of constraint row i",
+// so it survives appending rows (which shifts raw auxiliary column
+// indices). The snapshot also records which structural columns were
+// complemented (resting at, or measured from, their upper bound) —
+// without that set the restored point would be a different vertex than
+// the one the basis was optimal at. The encoding is kernel-neutral: the
+// sparse kernel restores a *Basis by refactorizing the named columns.
 type Basis struct {
 	// rows[i] encodes the column basic in snapshot row i: v >= 0 is the
 	// structural variable v; v < 0 is the auxiliary (slack/surplus) column
@@ -41,6 +43,18 @@ type Basis struct {
 
 // Rows returns the number of constraint rows the snapshot covers.
 func (b *Basis) Rows() int { return len(b.rows) }
+
+// Kernel implements BasisSnapshot: the dense tableau kernel.
+func (b *Basis) Kernel() KernelKind { return KernelDense }
+
+// data implements BasisSnapshot (nil-safe: a typed-nil *Basis decodes to
+// n < 0, which no problem matches).
+func (b *Basis) data() ([]int32, []int32, int) {
+	if b == nil {
+		return nil, nil, -1
+	}
+	return b.rows, b.flips, b.n
+}
 
 // snapshotBasis captures the current basis, or nil when it cannot be
 // restored elsewhere (a redundant row, or an artificial still basic).
@@ -80,41 +94,13 @@ func (t *tableau) snapshotBasis() *Basis {
 	return &Basis{rows: rows, flips: flips, n: t.n}
 }
 
-// SolveFrom re-optimizes p starting from a basis snapshotted on a related
-// problem: same structural variables, constraint rows that extend the
-// snapshot's rows (identical prefix, new rows appended, right-hand sides
-// free to move), and variable bounds free to move — the branch-and-bound
-// child shape of one tightened bound included. It restores the basis
-// (and the snapshot's complemented columns) into a fresh tableau, repairs
-// primal feasibility with dual-simplex pivots and polishes with primal
-// pivots. Whenever the warm start is rejected — nil or mismatched basis,
-// a singular restore, lost dual feasibility, or an iteration limit — it
-// falls back transparently to the cold two-phase Solve; Solution.Warm
-// reports which path produced the result.
-func SolveFrom(p *Problem, b *Basis, opts *Options) (Solution, error) {
-	if err := p.Validate(); err != nil {
-		return Solution{}, err
-	}
-	wasted := 0
-	if b != nil && b.n == p.NumVars() && len(b.rows) <= len(p.Constraints) {
-		t := newTableau(p, opts)
-		if sol, ok := t.solveFrom(p, b); ok {
-			return sol, nil
-		}
-		wasted = t.pivots // restore/dual pivots spent before the rejection
-	}
-	t := newTableau(p, opts)
-	sol, err := t.solve(p)
-	// The discarded warm attempt was real work; keep the iteration count
-	// honest so warm-vs-cold pivot comparisons cannot hide rejections.
-	sol.Iterations += wasted
-	return sol, err
-}
-
-// solveFrom attempts the warm-started solve; ok == false means the caller
-// must fall back to a cold solve.
-func (t *tableau) solveFrom(p *Problem, b *Basis) (Solution, bool) {
-	if !t.restoreBasis(b) {
+// solveFrom attempts the warm-started solve from a decoded snapshot
+// (BasisSnapshot.data encoding); ok == false means the caller must fall
+// back to a cold solve. It restores the basis (and the snapshot's
+// complemented columns) into the fresh tableau, repairs primal
+// feasibility with dual-simplex pivots and polishes with primal pivots.
+func (t *tableau) solveFrom(p *Problem, rows, flips []int32) (Solution, bool) {
+	if !t.restoreBasis(rows, flips) {
 		return Solution{}, false
 	}
 	t.setObjective(p.Objective)
@@ -155,7 +141,7 @@ func (t *tableau) solveFrom(p *Problem, b *Basis) (Solution, bool) {
 		Objective:  t.objVal + t.objBase,
 		Iterations: t.pivots,
 		Duals:      t.duals(),
-		Basis:      t.snapshotBasis(),
+		Basis:      snapOrNil(t.snapshotBasis()),
 		Warm:       true,
 	}, true
 }
@@ -168,12 +154,15 @@ func (t *tableau) solveFrom(p *Problem, b *Basis) (Solution, bool) {
 // elimination step with partial (largest-entry) row selection, so the
 // restore succeeds exactly when the requested basis matrix is numerically
 // nonsingular.
-func (t *tableau) restoreBasis(b *Basis) bool {
+func (t *tableau) restoreBasis(rows, flips []int32) bool {
 	// Re-apply the snapshot's complemented columns. A column whose upper
 	// bound the new problem removed cannot be complemented — reject and
 	// let the cold solve handle it (branching only tightens bounds, so
-	// this is a defensive path, not a hot one).
-	for _, enc := range b.flips {
+	// this is a defensive path, not a hot one). A sparse-kernel snapshot
+	// never lists a basic column here (its flips are nonbasic at-upper
+	// columns only); a dense snapshot may, and re-complementing a basic
+	// column is exactly how the dense tableau represents that vertex.
+	for _, enc := range flips {
 		col := int(enc)
 		if col < 0 || col >= t.n || math.IsInf(t.cap[col], 1) {
 			return false
@@ -199,7 +188,7 @@ func (t *tableau) restoreBasis(b *Basis) bool {
 		targets = append(targets, col)
 		return true
 	}
-	for _, enc := range b.rows {
+	for _, enc := range rows {
 		col := int(enc)
 		if enc < 0 {
 			r := int(^enc)
@@ -217,7 +206,7 @@ func (t *tableau) restoreBasis(b *Basis) bool {
 	// Rows appended after the snapshot enter with their own auxiliary
 	// basic; an appended equality row has only an artificial, which
 	// cannot be warm started.
-	for i := len(b.rows); i < t.m; i++ {
+	for i := len(rows); i < t.m; i++ {
 		if !add(t.rowAux[i]) {
 			return false
 		}

@@ -53,6 +53,15 @@ type GomoryResult struct {
 // shifted lower bound breaks. A problem with non-default bounds is solved
 // normally but no cuts are generated.
 func SolveGomory(p *Problem, opts *Options, maxRounds int) (GomoryResult, error) {
+	return solveGomoryArena(p, opts, maxRounds, &arena{})
+}
+
+// solveGomoryArena is SolveGomory over a caller-visible arena (tests
+// assert the cut loop never grows it after the first round). The cut
+// tableau stays on the dense kernel regardless of Options.Kernel: cut
+// extraction reads tableau rows, which the factorized sparse basis does
+// not materialize.
+func solveGomoryArena(p *Problem, opts *Options, maxRounds int, ar *arena) (GomoryResult, error) {
 	work := p.Clone()
 	if !work.DefaultBounds() {
 		maxRounds = 0
@@ -64,10 +73,21 @@ func SolveGomory(p *Problem, opts *Options, maxRounds int) (GomoryResult, error)
 		cutsPerRound = 10
 	)
 	maxTotalCuts := 4 * (len(p.Constraints) + p.NumVars())
+	// Reserve the arena for the loop's final shape up front: the problem
+	// only grows by appended cut rows, so sizing for the fully
+	// cut-augmented tableau (every round's rows ≤ mf, columns ≤ totf)
+	// means no round ever grows a buffer after the first.
+	mf := len(p.Constraints) + maxTotalCuts
+	if maxRounds <= 0 {
+		mf = len(p.Constraints)
+	}
+	totf := p.NumVars() + 2*mf
+	ar.reserve(mf*(totf+2)+3*totf, 2*mf, 3*mf+totf, mf)
 	lastObj := math.Inf(-1)
 	totalIters := 0
 	for round := 0; ; round++ {
-		t := newTableau(work, opts)
+		ar.reset()
+		t := newTableauArena(work, opts, ar)
 		sol, err := t.solve(work)
 		if err != nil {
 			return res, err

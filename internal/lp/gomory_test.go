@@ -207,3 +207,34 @@ func TestQuickGomoryBoundSandwich(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSolveGomoryArenaReuse pins the cut loop's allocation discipline:
+// the arena is reserved for the final cut-augmented shape before round 1,
+// so re-solving the grown problem in later rounds must never grow a
+// buffer (lateGrows counts growths after the first reset). The packing
+// instance generates multiple cut rounds, so the reuse path actually
+// runs on a grown tableau.
+func TestSolveGomoryArenaReuse(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{-7, -2, -5, -9},
+		Constraints: []Constraint{
+			{Coeffs: []float64{3, 1, 2, 4}, Rel: LE, RHS: 10},
+			{Coeffs: []float64{1, 3, 3, 1}, Rel: LE, RHS: 11},
+			{Coeffs: []float64{4, 2, 1, 3}, Rel: LE, RHS: 13},
+		},
+	}
+	ar := &arena{}
+	res, err := solveGomoryArena(p, nil, 10, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("rounds = %d; instance no longer exercises arena reuse", res.Rounds)
+	}
+	if ar.resets != res.Rounds+1 {
+		t.Errorf("resets = %d, want one per round (%d)", ar.resets, res.Rounds+1)
+	}
+	if ar.lateGrows != 0 {
+		t.Errorf("arena grew %d times after the first round; reserve undersized", ar.lateGrows)
+	}
+}

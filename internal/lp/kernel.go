@@ -1,0 +1,263 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Pluggable pivot kernels.
+//
+// The simplex engine comes in two implementations behind one API: the
+// dense bounded-variable tableau (simplex.go) and the sparse revised
+// simplex with a factorized basis (sparse.go). Solve, SolveFrom and
+// SolveGomory all construct a Solver and dispatch on its resolved
+// KernelKind; callers select a kernel per solve through Options.Kernel,
+// per process through SetDefaultKernel, or per environment through
+// RENTMIN_LP_KERNEL. Warm starts cross kernels freely: BasisSnapshot is
+// a kernel-neutral logical encoding of the optimal vertex, and each
+// kernel restores it its own way (the dense tableau re-pivots, the
+// sparse kernel refactorizes).
+
+// KernelKind selects a simplex pivot-kernel implementation.
+type KernelKind int8
+
+// Available kernels.
+const (
+	// KernelAuto defers the choice: the process default installed with
+	// SetDefaultKernel if any, else the RENTMIN_LP_KERNEL environment
+	// variable, else the dense tableau.
+	KernelAuto KernelKind = iota
+	// KernelDense is the dense bounded-variable tableau: every pivot
+	// touches all m×(n+slack+artificial) entries. Fastest on the small
+	// dense relaxations branch and bound produces at paper scale.
+	KernelDense
+	// KernelSparse is the sparse revised simplex: column-major constraint
+	// storage, a product-form factorized basis with eta-file updates and
+	// periodic refactorization, Dantzig pricing. Per-iteration cost scales
+	// with the nonzero count, not m×n, so it wins on large sparse
+	// instances.
+	KernelSparse
+)
+
+// String implements fmt.Stringer.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelDense:
+		return "dense"
+	case KernelSparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("KernelKind(%d)", int(k))
+}
+
+// ParseKernel parses a kernel name: "auto" (or empty), "dense", "sparse".
+func ParseKernel(s string) (KernelKind, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "dense":
+		return KernelDense, nil
+	case "sparse":
+		return KernelSparse, nil
+	}
+	return KernelAuto, fmt.Errorf("lp: unknown kernel %q (want auto, dense or sparse)", s)
+}
+
+// defaultKernel is the process-wide kernel installed by SetDefaultKernel
+// (0 = KernelAuto = not installed).
+var defaultKernel atomic.Int32
+
+// SetDefaultKernel installs the kernel used by every solve whose
+// Options.Kernel is KernelAuto. It is safe for concurrent use; pass
+// KernelAuto to restore the environment/default resolution. Daemons wire
+// their -lp-kernel flag here so the choice applies process-wide without
+// threading an option through every call path.
+func SetDefaultKernel(k KernelKind) { defaultKernel.Store(int32(k)) }
+
+// envKernel resolves RENTMIN_LP_KERNEL once; unset, empty, "auto" or
+// unparsable values fall back to the dense kernel.
+var envKernel = sync.OnceValue(func() KernelKind {
+	k, err := ParseKernel(os.Getenv("RENTMIN_LP_KERNEL"))
+	if err != nil || k == KernelAuto {
+		return KernelDense
+	}
+	return k
+})
+
+// kernel resolves the effective kernel for these options.
+func (o *Options) kernel() KernelKind {
+	if o != nil && o.Kernel != KernelAuto {
+		return o.Kernel
+	}
+	if k := KernelKind(defaultKernel.Load()); k != KernelAuto {
+		return k
+	}
+	return envKernel()
+}
+
+// Typed error sentinels for the non-optimal solve outcomes. The kernels
+// report outcomes through Solution.Status; Status.Err maps a status to
+// its sentinel so callers can escalate with %w and test with errors.Is
+// instead of matching strings.
+var (
+	// ErrInfeasible: the constraints admit no point within the bounds.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded: the objective decreases without bound.
+	ErrUnbounded = errors.New("lp: unbounded")
+	// ErrIterLimit: the pivot cap was hit before optimality.
+	ErrIterLimit = errors.New("lp: iteration limit")
+)
+
+// Err returns the typed sentinel for a non-Optimal status, nil for
+// Optimal (and for unknown status values).
+func (s Status) Err() error {
+	switch s {
+	case Infeasible:
+		return ErrInfeasible
+	case Unbounded:
+		return ErrUnbounded
+	case IterLimit:
+		return ErrIterLimit
+	}
+	return nil
+}
+
+// BasisSnapshot is an opaque snapshot of an optimal simplex basis,
+// restorable on a related problem via SolveFrom (same structural
+// variables; constraint rows may be appended and right-hand sides and
+// variable bounds may move). Snapshots are kernel-neutral: a snapshot
+// taken by one kernel warm-starts the other, because the encoding is the
+// logical vertex (which column is basic in each row, which structural
+// columns rest at their upper bound), not kernel state. The dense kernel
+// restores by re-pivoting the tableau; the sparse kernel restores by
+// refactorizing the basis matrix. The interface is sealed: the two
+// implementations are *Basis (dense) and *FactorizedBasis (sparse).
+type BasisSnapshot interface {
+	// Rows returns the number of constraint rows the snapshot covers.
+	Rows() int
+	// Kernel identifies the kernel that took the snapshot.
+	Kernel() KernelKind
+	// data exposes the logical encoding to the kernels (sealing method):
+	// rows[i] >= 0 names structural column rows[i] basic in row i, and
+	// rows[i] < 0 names the slack/surplus column of constraint row
+	// ^rows[i]; flips lists the structural columns resting at (or
+	// measured from) their upper bound; n is the structural variable
+	// count. A nil snapshot returns n < 0.
+	data() (rows []int32, flips []int32, n int)
+}
+
+// Solver is a reusable handle for solving one Problem with a resolved
+// kernel. Solve and SolveFrom are thin wrappers over it; constructing a
+// Solver directly lets callers pin the kernel choice once and (with
+// newSolverArena, used by SolveGomory) share scratch memory across
+// repeated solves of growing variants of the problem.
+type Solver struct {
+	p    *Problem
+	opts *Options
+	kind KernelKind
+	ar   *arena
+}
+
+// NewSolver validates the problem and resolves the kernel.
+func NewSolver(p *Problem, opts *Options) (*Solver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Solver{p: p, opts: opts, kind: opts.kernel()}, nil
+}
+
+// newSolverArena is NewSolver plus a shared allocation arena for the
+// dense kernel's tableaus (SolveGomory's cut-round loop).
+func newSolverArena(p *Problem, opts *Options, ar *arena) (*Solver, error) {
+	s, err := NewSolver(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.ar = ar
+	return s, nil
+}
+
+// Kernel returns the kernel this solver dispatches to.
+func (s *Solver) Kernel() KernelKind { return s.kind }
+
+// Solve runs a cold solve on the selected kernel.
+func (s *Solver) Solve() (Solution, error) {
+	if s.kind == KernelSparse {
+		return newSparse(s.p, s.opts).solve()
+	}
+	t := newTableauArena(s.p, s.opts, s.ar)
+	return t.solve(s.p)
+}
+
+// SolveFrom re-optimizes from a basis snapshot on the selected kernel,
+// falling back transparently to a cold Solve whenever the warm start is
+// rejected (nil or mismatched snapshot, a singular restore, lost dual
+// feasibility, or an iteration limit). Solution.Warm reports which path
+// produced the result; the pivots a rejected warm attempt spent are
+// folded into Iterations so warm-vs-cold comparisons stay honest.
+func (s *Solver) SolveFrom(b BasisSnapshot) (Solution, error) {
+	wasted := 0
+	if b != nil {
+		rows, flips, n := b.data()
+		if n == s.p.NumVars() && len(rows) <= len(s.p.Constraints) {
+			if s.kind == KernelSparse {
+				sp := newSparse(s.p, s.opts)
+				if sol, ok := sp.solveFrom(rows, flips); ok {
+					return sol, nil
+				}
+				wasted = sp.pivots
+			} else {
+				t := newTableauArena(s.p, s.opts, s.ar)
+				if sol, ok := t.solveFrom(s.p, rows, flips); ok {
+					return sol, nil
+				}
+				wasted = t.pivots // restore/dual pivots spent before the rejection
+			}
+		}
+	}
+	sol, err := s.Solve()
+	// The discarded warm attempt was real work; keep the iteration count
+	// honest so warm-vs-cold pivot comparisons cannot hide rejections.
+	sol.Iterations += wasted
+	return sol, err
+}
+
+// Solve minimizes the problem with the selected kernel (Options.Kernel,
+// else the process default, else RENTMIN_LP_KERNEL, else dense).
+func Solve(p *Problem, opts *Options) (Solution, error) {
+	s, err := NewSolver(p, opts)
+	if err != nil {
+		return Solution{}, err
+	}
+	return s.Solve()
+}
+
+// SolveFrom re-optimizes p starting from a basis snapshotted on a related
+// problem: same structural variables, constraint rows that extend the
+// snapshot's rows (identical prefix, new rows appended, right-hand sides
+// free to move), and variable bounds free to move — the branch-and-bound
+// child shape of one tightened bound included. Rejected warm starts fall
+// back transparently to the cold two-phase Solve; Solution.Warm reports
+// which path produced the result.
+func SolveFrom(p *Problem, b BasisSnapshot, opts *Options) (Solution, error) {
+	s, err := NewSolver(p, opts)
+	if err != nil {
+		return Solution{}, err
+	}
+	return s.SolveFrom(b)
+}
+
+// snapOrNil converts a possibly-nil *Basis into a BasisSnapshot without
+// ever producing a non-nil interface around a nil pointer (callers test
+// Solution.Basis == nil).
+func snapOrNil(b *Basis) BasisSnapshot {
+	if b == nil {
+		return nil
+	}
+	return b
+}

@@ -219,11 +219,12 @@ type Solution struct {
 	// bound multipliers (the reduced costs of variables resting at a
 	// bound) contribute the remainder. Rows proven redundant report 0.
 	Duals []float64
-	// Basis is a snapshot of the optimal basis, restorable on a related
-	// problem via SolveFrom. It is nil when the status is not Optimal or
-	// when the basis cannot be re-used (a redundant row, or an artificial
-	// variable left basic by a degenerate phase 1).
-	Basis *Basis
+	// Basis is an opaque snapshot of the optimal basis, restorable on a
+	// related problem via SolveFrom (by either kernel — see
+	// BasisSnapshot). It is nil when the status is not Optimal or when
+	// the basis cannot be re-used (a redundant row, or an artificial
+	// variable left basic by a degenerate phase 1 of the dense kernel).
+	Basis BasisSnapshot
 	// Warm reports that this solution came from SolveFrom's warm-started
 	// dual-simplex path; false means a cold two-phase solve produced it
 	// (including SolveFrom calls that fell back).
@@ -238,6 +239,10 @@ type Options struct {
 	// MaxIter caps the total number of pivots. Zero picks a size-based
 	// default.
 	MaxIter int
+	// Kernel selects the pivot-kernel implementation. KernelAuto (the
+	// zero value) resolves to the process default (SetDefaultKernel),
+	// then the RENTMIN_LP_KERNEL environment variable, then KernelDense.
+	Kernel KernelKind
 }
 
 func (o *Options) tol() float64 {
@@ -252,13 +257,4 @@ func (o *Options) maxIter(m, n int) int {
 		return 2000 + 200*(m+n)
 	}
 	return o.MaxIter
-}
-
-// Solve runs the two-phase simplex method.
-func Solve(p *Problem, opts *Options) (Solution, error) {
-	if err := p.Validate(); err != nil {
-		return Solution{}, err
-	}
-	t := newTableau(p, opts)
-	return t.solve(p)
 }

@@ -15,18 +15,25 @@ import (
 // solver report Optimal they must agree on the objective and the warm
 // point must be primal feasible and within bounds — the
 // transparent-fallback contract.
+//
+// The kernels byte picks the snapshotting and restoring pivot kernels
+// independently (2 bits each), so the fuzzer also drives every
+// cross-kernel snapshot/restore combination through the neutral basis
+// encoding.
 func FuzzSolveFrom(f *testing.F) {
-	f.Add(uint64(1), uint8(0), float64(3), uint8(0))
-	f.Add(uint64(7), uint8(2), float64(-2), uint8(1))
-	f.Add(uint64(42), uint8(9), float64(0.5), uint8(2))
-	f.Add(uint64(0xBEEF), uint8(255), float64(1e6), uint8(3))
-	f.Fuzz(func(t *testing.T, seed uint64, pick uint8, delta float64, mode uint8) {
+	f.Add(uint64(1), uint8(0), float64(3), uint8(0), uint8(0))
+	f.Add(uint64(7), uint8(2), float64(-2), uint8(1), uint8(1))
+	f.Add(uint64(42), uint8(9), float64(0.5), uint8(2), uint8(2))
+	f.Add(uint64(0xBEEF), uint8(255), float64(1e6), uint8(3), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, pick uint8, delta float64, mode uint8, kernels uint8) {
 		if math.IsNaN(delta) || math.IsInf(delta, 0) {
 			return
 		}
+		fromOpts := &Options{Kernel: KernelKind(1 + kernels%2)}
+		toOpts := &Options{Kernel: KernelKind(1 + (kernels>>1)%2)}
 		r := rand.New(rand.NewSource(int64(seed)))
 		p := randomCoverLP(r, 2+r.Intn(6), 1+r.Intn(5))
-		parent, err := Solve(p, nil)
+		parent, err := Solve(p, fromOpts)
 		if err != nil {
 			t.Fatalf("base Solve: %v", err)
 		}
@@ -61,11 +68,11 @@ func FuzzSolveFrom(f *testing.F) {
 			q.SetBounds(j, lo, hi)
 		}
 
-		warm, err := SolveFrom(q, parent.Basis, nil)
+		warm, err := SolveFrom(q, parent.Basis, toOpts)
 		if err != nil {
 			t.Fatalf("SolveFrom: %v", err)
 		}
-		cold, err := Solve(q, nil)
+		cold, err := Solve(q, toOpts)
 		if err != nil {
 			t.Fatalf("cold Solve: %v", err)
 		}

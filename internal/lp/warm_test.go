@@ -29,7 +29,7 @@ func withBound(p *Problem, j int, rel Relation, rhs float64) *Problem {
 
 // checkAgainstCold solves q cold and warm (from basis) and requires
 // matching status, objective, and a primal feasible warm point.
-func checkAgainstCold(t *testing.T, q *Problem, basis *Basis) Solution {
+func checkAgainstCold(t *testing.T, q *Problem, basis BasisSnapshot) Solution {
 	t.Helper()
 	cold, err := Solve(q, nil)
 	if err != nil {

@@ -21,7 +21,10 @@
 //     the parent's optimal basis via lp.SolveFrom — most of the per-node
 //     simplex work disappears on deep trees, with a transparent cold-solve
 //     fallback whenever a restore is rejected (see Options.DisableWarmLP
-//     to switch the path off);
+//     to switch the path off). The basis travels as an opaque
+//     lp.BasisSnapshot, so the search never touches simplex internals and
+//     works unchanged over either LP pivot kernel (select one with
+//     Options.LP → lp.Options.Kernel);
 //   - parallel search: the best-bound frontier is expanded in rounds of
 //     up to Options.Workers nodes, and every child LP relaxation of the
 //     round — including all strong-branching candidates — solves
@@ -326,11 +329,11 @@ func (s *solver) run() (Result, error) {
 		if s.hasBest {
 			// The warm start proved feasibility; an infeasible root
 			// relaxation means the LP solver and the incumbent disagree.
-			return Result{}, errors.New("milp: root relaxation infeasible despite feasible warm start")
+			return Result{}, fmt.Errorf("milp: root relaxation reported %w despite a feasible warm start", lp.ErrInfeasible)
 		}
 		return s.result(Infeasible), nil
 	case lp.IterLimit:
-		return Result{}, errors.New("milp: root relaxation hit the simplex iteration limit")
+		return Result{}, fmt.Errorf("milp: root relaxation: %w", lp.ErrIterLimit)
 	}
 
 	h := &nodeHeap{}
@@ -558,7 +561,7 @@ func (s *solver) solveRootWithCuts(root *node) (lp.Status, error) {
 // With a parent basis in hand (and warm starts enabled) it re-optimizes
 // via the dual simplex, falling back to a cold solve transparently inside
 // lp.SolveFrom; the root (basis == nil) always solves cold.
-func (s *solver) solveRelax(n *node, basis *lp.Basis) (lp.Status, error) {
+func (s *solver) solveRelax(n *node, basis lp.BasisSnapshot) (lp.Status, error) {
 	var lpOpts *lp.Options
 	if s.opts != nil {
 		lpOpts = s.opts.LP

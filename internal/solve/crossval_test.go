@@ -52,7 +52,8 @@ func smallGeneratedProblem(r *rand.Rand) (*core.Problem, int) {
 }
 
 // TestCrossValILPMatchesBruteForce: the general ILP path equals the
-// brute-force optimum on generated instances, for every worker count.
+// brute-force optimum on generated instances, for every worker count,
+// warm and cold node LPs, and both pivot kernels.
 func TestCrossValILPMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -61,17 +62,20 @@ func TestCrossValILPMatchesBruteForce(t *testing.T) {
 		want := BruteForce(m, target).Cost
 		for _, w := range []int{1, 2, 8} {
 			// Warm-started and cold node LP solves must both land on the
-			// brute-force optimum, bit-identically (costs are integers).
+			// brute-force optimum, bit-identically (costs are integers),
+			// whichever kernel pivots the relaxations.
 			for _, coldLP := range []bool{false, true} {
-				res, err := ILP(m, target, &ILPOptions{Workers: w, DisableLPWarmStart: coldLP})
-				if err != nil || !res.Proven {
-					return false
-				}
-				if res.Alloc.Cost != want {
-					return false
-				}
-				if err := m.CheckFeasible(res.Alloc, target); err != nil {
-					return false
+				for _, kernel := range []lp.KernelKind{lp.KernelDense, lp.KernelSparse} {
+					res, err := ILP(m, target, &ILPOptions{Workers: w, DisableLPWarmStart: coldLP, LPKernel: kernel})
+					if err != nil || !res.Proven {
+						return false
+					}
+					if res.Alloc.Cost != want {
+						return false
+					}
+					if err := m.CheckFeasible(res.Alloc, target); err != nil {
+						return false
+					}
 				}
 			}
 		}
@@ -128,18 +132,23 @@ func TestCrossValBoundedVsRowBoundEncodings(t *testing.T) {
 
 		for _, w := range []int{1, 2, 8} {
 			for _, coldLP := range []bool{false, true} {
-				opts := &milp.Options{Workers: w, DisableWarmLP: coldLP, IntegralObjective: true}
-				for name, prob := range map[string]*milp.Problem{"bounded": bounded, "rows": rows} {
-					res, err := milp.Solve(prob, opts)
-					if err != nil {
-						t.Fatalf("seed %d workers %d cold %v %s: %v", seed, w, coldLP, name, err)
+				for _, kernel := range []lp.KernelKind{lp.KernelDense, lp.KernelSparse} {
+					opts := &milp.Options{
+						Workers: w, DisableWarmLP: coldLP, IntegralObjective: true,
+						LP: &lp.Options{Kernel: kernel},
 					}
-					if res.Status != milp.Optimal {
-						t.Fatalf("seed %d workers %d cold %v %s: status %v", seed, w, coldLP, name, res.Status)
-					}
-					if math.Abs(res.Objective-want) > 1e-6 {
-						t.Errorf("seed %d workers %d cold %v %s: cost %g, brute force %g",
-							seed, w, coldLP, name, res.Objective, want)
+					for name, prob := range map[string]*milp.Problem{"bounded": bounded, "rows": rows} {
+						res, err := milp.Solve(prob, opts)
+						if err != nil {
+							t.Fatalf("seed %d workers %d cold %v %v %s: %v", seed, w, coldLP, kernel, name, err)
+						}
+						if res.Status != milp.Optimal {
+							t.Fatalf("seed %d workers %d cold %v %v %s: status %v", seed, w, coldLP, kernel, name, res.Status)
+						}
+						if math.Abs(res.Objective-want) > 1e-6 {
+							t.Errorf("seed %d workers %d cold %v %v %s: cost %g, brute force %g",
+								seed, w, coldLP, kernel, name, res.Objective, want)
+						}
 					}
 				}
 			}

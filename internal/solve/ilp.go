@@ -48,6 +48,13 @@ type ILPOptions struct {
 	// costs, more simplex pivots). Distinct from WarmStart, which seeds
 	// the incumbent, not the per-node LP solves.
 	DisableLPWarmStart bool
+	// LPKernel selects the simplex pivot kernel for every LP relaxation
+	// (lp.KernelDense, lp.KernelSparse; the zero value lp.KernelAuto
+	// keeps the process default — see lp.SetDefaultKernel and the
+	// RENTMIN_LP_KERNEL environment variable). Both kernels prove the
+	// same optimal costs; they differ only in per-iteration cost on
+	// large sparse instances.
+	LPKernel lp.KernelKind
 }
 
 // ILPResult is the outcome of the integer-programming solve.
@@ -186,6 +193,9 @@ func ILPContext(ctx context.Context, m *core.CostModel, target int, opts *ILPOpt
 		IntegralObjective: !opts.DisableIntegralPruning,
 		Workers:           opts.Workers,
 		DisableWarmLP:     opts.DisableLPWarmStart,
+	}
+	if opts.LPKernel != lp.KernelAuto {
+		mopts.LP = &lp.Options{Kernel: opts.LPKernel}
 	}
 	if !opts.DisableStrongBranch {
 		mopts.StrongBranch = 8

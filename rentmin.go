@@ -61,6 +61,7 @@ import (
 	"rentmin/internal/core"
 	"rentmin/internal/graphgen"
 	"rentmin/internal/heuristics"
+	"rentmin/internal/lp"
 	"rentmin/internal/milp"
 	"rentmin/internal/pool"
 	"rentmin/internal/rng"
@@ -150,6 +151,16 @@ type SolveOptions struct {
 	// cold from scratch). The optimal cost is identical either way; the
 	// toggle exists for ablation and for diagnosing numerical trouble.
 	DisableLPWarmStart bool
+	// LPKernel selects the simplex pivot kernel used for every LP
+	// relaxation: "dense" (tableau), "sparse" (revised simplex with a
+	// factorized basis), or "" / "auto" (the process default, settable
+	// via the RENTMIN_LP_KERNEL environment variable and defaulting to
+	// dense). Both kernels prove the same optimal costs. An unknown name
+	// is reported as an error by Solve. The choice is per-process: a
+	// remote SolverPool does not forward it over the wire — remote
+	// workers pick their kernel with rentmind's -lp-kernel flag (or
+	// their own environment).
+	LPKernel string
 }
 
 // Solution is the outcome of the exact solver.
@@ -199,6 +210,11 @@ func SolveContext(ctx context.Context, p *Problem, opts *SolveOptions) (Solution
 		iopts.WarmStart = opts.WarmStart
 		iopts.Workers = opts.Workers
 		iopts.DisableLPWarmStart = opts.DisableLPWarmStart
+		kernel, err := lp.ParseKernel(opts.LPKernel)
+		if err != nil {
+			return Solution{}, fmt.Errorf("rentmin: %w", err)
+		}
+		iopts.LPKernel = kernel
 	}
 	res, err := solve.ILPContext(ctx, m, p.Target, &iopts)
 	if err != nil {
@@ -318,6 +334,7 @@ func (p *SolverPool) SolveBatchContext(ctx context.Context, problems []*Problem,
 	if opts != nil {
 		each.TimeLimit = opts.TimeLimit
 		each.DisableLPWarmStart = opts.DisableLPWarmStart
+		each.LPKernel = opts.LPKernel
 	}
 	out := make([]Solution, len(problems))
 	err := p.pool.RunContext(ctx, len(problems), func(ctx context.Context, i int) error {
