@@ -23,7 +23,31 @@ import (
 	"time"
 
 	"rentmin"
+	"rentmin/internal/obs"
 )
+
+// TraceHeader is the HTTP header that carries a solve's trace ID across
+// processes: a caller (or the coordinator) stamps it on the request, the
+// daemon echoes it on the response, and the coordinator's dispatch
+// client forwards it to the answering worker — so one ID names the solve
+// in every process's logs and /debug/solves ring. The daemon generates
+// an ID when the header is absent or invalid (see the header contract in
+// docs/observability.md).
+const TraceHeader = "X-Rentmin-Trace-Id"
+
+// WithTraceID returns a context carrying a trace ID; every request this
+// client sends under the context is stamped with the TraceHeader. IDs
+// are 1–64 characters of [A-Za-z0-9_-]; the daemon replaces anything
+// else with a fresh ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return obs.WithTraceID(ctx, id)
+}
+
+// TraceIDFrom returns the trace ID carried by ctx, or "".
+func TraceIDFrom(ctx context.Context) string { return obs.TraceID(ctx) }
+
+// NewTraceID returns a fresh random trace ID (32 hex characters).
+func NewTraceID() string { return obs.NewTraceID() }
 
 // Options tunes one Solve or SolveBatch call.
 type Options struct {
@@ -37,6 +61,10 @@ type Options struct {
 	// DisableLPWarmStart forces cold LP solves inside branch and bound
 	// (Solve only; see SolveRequest.DisableLPWarmStart).
 	DisableLPWarmStart bool
+	// Stats opts into the per-solve flight-recorder block on the
+	// response (Solution.Stats): trace/worker attribution, queue-wait vs
+	// solve-time split, and the search trajectory.
+	Stats bool
 }
 
 // APIError is a non-2xx response from the daemon.
@@ -106,6 +134,7 @@ func (c *Client) Solve(ctx context.Context, p *rentmin.Problem, opts *Options) (
 	if opts != nil {
 		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
 		req.DisableLPWarmStart = opts.DisableLPWarmStart
+		req.Stats = opts.Stats
 		if opts.Target > 0 {
 			t := opts.Target
 			req.Target = &t
@@ -132,6 +161,7 @@ func (c *Client) SolveBatch(ctx context.Context, problems []*rentmin.Problem, op
 	}
 	if opts != nil {
 		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
+		req.Stats = opts.Stats
 	}
 	var resp BatchResponse
 	if err := c.post(ctx, "/v1/batch", req, &resp); err != nil {
@@ -220,6 +250,7 @@ func (c *Client) SolveRef(ctx context.Context, hash string, target int, opts *Op
 	if opts != nil {
 		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
 		req.DisableLPWarmStart = opts.DisableLPWarmStart
+		req.Stats = opts.Stats
 	}
 	var sol Solution
 	if err := c.post(ctx, "/v1/solve", req, &sol); err != nil {
@@ -235,6 +266,7 @@ func (c *Client) SolveBatchRef(ctx context.Context, refs []ProblemRef, opts *Opt
 	req := BatchRequest{ProblemRefs: refs}
 	if opts != nil {
 		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
+		req.Stats = opts.Stats
 	}
 	var resp BatchResponse
 	if err := c.post(ctx, "/v1/batch", req, &resp); err != nil {
@@ -244,6 +276,28 @@ func (c *Client) SolveBatchRef(ctx context.Context, refs []ProblemRef, opts *Opt
 		return nil, fmt.Errorf("rentmind: batch returned %d solutions for %d refs", len(resp.Solutions), len(refs))
 	}
 	return resp.Solutions, nil
+}
+
+// DebugSolves fetches the daemon's solve flight recorder (GET
+// /debug/solves): the last n solve summaries, newest first (n <= 0
+// returns everything the ring retains).
+func (c *Client) DebugSolves(ctx context.Context, n int) (DebugSolvesResponse, error) {
+	var out DebugSolvesResponse
+	path := "/debug/solves"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	body, status, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return out, err
+	}
+	if status != http.StatusOK {
+		return out, apiError(status, body, nil)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("rentmind: decode debug solves: %w", err)
+	}
+	return out, nil
 }
 
 // RegisterWorker announces a worker endpoint to a coordinator's
@@ -340,6 +394,9 @@ func (c *Client) doFull(ctx context.Context, method, path string, payload []byte
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(TraceHeader, id)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -2,6 +2,7 @@ package client
 
 import (
 	"encoding/json"
+	"time"
 
 	"rentmin"
 )
@@ -51,6 +52,11 @@ type SolveRequest struct {
 	// exists for ablation campaigns and numerical diagnosis, and a
 	// coordinator forwards it so remote solves honor it too.
 	DisableLPWarmStart bool `json:"disable_lp_warm_start,omitempty"`
+	// Stats opts into the solve flight-recorder block on the response
+	// (Solution.Stats): trace/worker attribution, the queue-wait vs
+	// solve-time split, and the search trajectory. Off by default — the
+	// trajectory hooks are only installed when requested.
+	Stats bool `json:"stats,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -68,6 +74,9 @@ type BatchRequest struct {
 	// best incumbent (Proven == false), and problems that never started
 	// report a per-item Error.
 	TimeLimitMs int64 `json:"time_limit_ms,omitempty"`
+	// Stats opts every item into the per-solve stats block (see
+	// SolveRequest.Stats); each Solution carries its own attribution.
+	Stats bool `json:"stats,omitempty"`
 }
 
 // Solution is one solve outcome: the body of a /v1/solve response and one
@@ -85,15 +94,86 @@ type Solution struct {
 	Nodes int `json:"nodes"`
 	// LPIterations counts simplex pivots across all node LP solves.
 	LPIterations int `json:"lp_iterations"`
-	// LPSolves counts node LP relaxations solved; WastedLPSolves is the
-	// subset the parallel search speculated on and discarded.
+	// LPSolves counts node LP relaxations solved; WarmLPSolves is the
+	// subset served by dual-simplex warm starts from the parent basis,
+	// and WastedLPSolves the subset the parallel search speculated on
+	// and discarded.
 	LPSolves       int `json:"lp_solves"`
+	WarmLPSolves   int `json:"warm_lp_solves,omitempty"`
 	WastedLPSolves int `json:"wasted_lp_solves"`
+	// LPKernel names the simplex kernel that solved the relaxations
+	// ("dense" or "sparse"); empty from daemons predating the field.
+	LPKernel string `json:"lp_kernel,omitempty"`
 	// ElapsedMs is the solver wall clock in milliseconds.
 	ElapsedMs float64 `json:"elapsed_ms"`
 	// Error is set instead of the other fields when a batch item failed
 	// or never started before the batch deadline.
 	Error string `json:"error,omitempty"`
+	// Stats is the opt-in flight-recorder block (SolveRequest.Stats /
+	// BatchRequest.Stats); nil unless requested.
+	Stats *SolveStats `json:"stats,omitempty"`
+}
+
+// SolveStats is the per-solve flight-recorder block a daemon attaches to
+// a Solution when the request set Stats: attribution (which trace, which
+// worker), the admission-time split (queue wait vs solve), and the
+// branch-and-bound search trajectory.
+type SolveStats struct {
+	// TraceID is the request's trace ID — the value of the
+	// X-Rentmin-Trace-Id response header, repeated per batch item so
+	// item attribution survives response reshuffling by intermediaries.
+	TraceID string `json:"trace_id"`
+	// Worker is the remote worker endpoint that answered this solve when
+	// it was dispatched across a fleet; "" when solved in-process.
+	Worker string `json:"worker,omitempty"`
+	// QueueWaitMs is time spent waiting for a solver lease after
+	// admission; SolveMs is the solve call itself (for a coordinator:
+	// dispatch round trip including the worker's own queue).
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	SolveMs     float64 `json:"solve_ms"`
+	// LPKernel/WarmLPSolves/ColdLPSolves/WastedLPSolves describe the LP
+	// work behind the solve: which simplex kernel ran, how many node
+	// relaxations re-optimized warm from the parent basis versus solved
+	// cold, and how many speculative solves parallel search discarded.
+	LPKernel       string `json:"lp_kernel,omitempty"`
+	WarmLPSolves   int    `json:"warm_lp_solves"`
+	ColdLPSolves   int    `json:"cold_lp_solves"`
+	WastedLPSolves int    `json:"wasted_lp_solves"`
+	// Incumbents is the incumbent-improvement trajectory and Rounds the
+	// per-round bound trajectory, both present only for in-process
+	// solves (a coordinator cannot observe a remote search's interior).
+	// Both are capped; TrajectoryTruncated reports a hit cap.
+	Incumbents          []IncumbentPoint `json:"incumbents,omitempty"`
+	Rounds              []RoundPoint     `json:"rounds,omitempty"`
+	TrajectoryTruncated bool             `json:"trajectory_truncated,omitempty"`
+	// Phases are the request's span timings (decode, queue, solve, ...).
+	Phases []PhaseTiming `json:"phases,omitempty"`
+}
+
+// IncumbentPoint is one incumbent improvement: the search accepted a
+// feasible allocation of the given cost at the given offset.
+type IncumbentPoint struct {
+	AtMs float64 `json:"at_ms"`
+	Cost float64 `json:"cost"`
+}
+
+// RoundPoint is one branch-and-bound expansion round: the proven bound,
+// the incumbent (omitted while none exists — +Inf does not encode in
+// JSON), and the search shape after the round.
+type RoundPoint struct {
+	Round     int      `json:"round"`
+	AtMs      float64  `json:"at_ms"`
+	Bound     float64  `json:"bound"`
+	Incumbent *float64 `json:"incumbent,omitempty"`
+	Frontier  int      `json:"frontier"`
+	Nodes     int      `json:"nodes"`
+}
+
+// PhaseTiming is one named request phase (a completed trace span).
+type PhaseTiming struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"`
+	DurMs   float64 `json:"dur_ms"`
 }
 
 // Allocation is rentmin.Allocation: the wire schema is its JSON encoding
@@ -165,12 +245,57 @@ type FleetWorker struct {
 	// removal or strike eviction).
 	Healthy bool `json:"healthy"`
 	Removed bool `json:"removed"`
+	// RTTSamples counts measured dispatch round trips; RTTp50Ms/RTTp99Ms
+	// are quantiles over a sliding window of the most recent ones.
+	RTTSamples int64   `json:"rtt_samples,omitempty"`
+	RTTp50Ms   float64 `json:"rtt_p50_ms,omitempty"`
+	RTTp99Ms   float64 `json:"rtt_p99_ms,omitempty"`
 }
 
 // FleetResponse is the body of GET /v1/workers and of a successful
 // POST /v1/workers (the fleet after the registration took effect).
 type FleetResponse struct {
 	Workers []FleetWorker `json:"workers"`
+}
+
+// DebugSolve is one entry of a daemon's solve flight recorder as served
+// by GET /debug/solves: a summary of a recent solve (or failed solve)
+// with trace/worker attribution and the queue/solve time split. The
+// trajectory detail stays in the opt-in response stats block; the ring
+// keeps counts only.
+type DebugSolve struct {
+	TraceID  string    `json:"trace_id"`
+	Endpoint string    `json:"endpoint"` // "solve" or "batch"
+	Item     int       `json:"item"`     // batch item index, -1 for single solves
+	Worker   string    `json:"worker,omitempty"`
+	Start    time.Time `json:"start"`
+
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	SolveMs     float64 `json:"solve_ms"`
+
+	Cost   int64  `json:"cost"`
+	Proven bool   `json:"proven"`
+	Error  string `json:"error,omitempty"`
+
+	Nodes          int    `json:"nodes"`
+	LPIterations   int    `json:"lp_iterations"`
+	LPSolves       int    `json:"lp_solves"`
+	WarmLPSolves   int    `json:"warm_lp_solves"`
+	WastedLPSolves int    `json:"wasted_lp_solves"`
+	LPKernel       string `json:"lp_kernel,omitempty"`
+
+	// Incumbents/Rounds count trajectory points observed (the points
+	// themselves are served on the solve response when Stats was set).
+	Incumbents int `json:"incumbents,omitempty"`
+	Rounds     int `json:"rounds,omitempty"`
+}
+
+// DebugSolvesResponse is the body of GET /debug/solves: the most recent
+// solves, newest first. Total counts every solve ever recorded,
+// including ones the ring has evicted.
+type DebugSolvesResponse struct {
+	Total  int64        `json:"total"`
+	Solves []DebugSolve `json:"solves"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

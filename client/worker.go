@@ -271,8 +271,10 @@ func (s *Solution) ToSolution() (rentmin.Solution, error) {
 		Nodes:          s.Nodes,
 		LPIterations:   s.LPIterations,
 		LPSolves:       s.LPSolves,
+		WarmLPSolves:   s.WarmLPSolves,
 		WastedLPSolves: s.WastedLPSolves,
 		Elapsed:        time.Duration(s.ElapsedMs * float64(time.Millisecond)),
+		LPKernel:       s.LPKernel,
 	}, nil
 }
 

@@ -10,6 +10,7 @@
 //	         [-max-target 1000000] [-max-batch 64] [-max-body 16777216]
 //	         [-default-time-limit 10s] [-max-time-limit 60s]
 //	         [-shutdown-grace 30s] [-problem-cache 256] [-lp-kernel dense|sparse]
+//	         [-debug-solves 64] [-pprof]
 //	         [-coordinator] [-workers-endpoints http://w1:8080,http://w2:8080]
 //	         [-workers-wait 15s] [-evict-strikes 3] [-health-interval 5s]
 //	         [-register http://coord:8080 -advertise http://me:8080
@@ -49,9 +50,19 @@
 //	                       draining, so fleets skip dying workers)
 //	GET  /healthz          liveness and queue gauges (503 while draining)
 //	GET  /metrics          Prometheus-style counters: solve counts, queue
-//	                       depth, p50/p99 latency, LP totals, problem-cache
-//	                       hit ratio, fleet size and per-worker health in
-//	                       coordinator mode
+//	                       depth, p50/p99 latency and queue wait, LP totals,
+//	                       problem-cache hit ratio, fleet size, per-worker
+//	                       health and dispatch RTT in coordinator mode
+//	GET  /debug/solves     the solve flight recorder: the last -debug-solves
+//	                       solve summaries (trace IDs, queue wait, worker
+//	                       attribution, LP counters), newest first
+//	GET  /debug/pprof/     runtime profiles, mounted only with -pprof
+//
+// Every solve carries a trace ID (the X-Rentmin-Trace-Id header, minted
+// when the client sends none) that the coordinator forwards with each
+// dispatch, so one ID names a solve across the whole fleet — in response
+// headers, structured logs, /debug/solves, and the opt-in "stats" response
+// block (see docs/observability.md).
 //
 // A quick round trip against a running daemon:
 //
@@ -65,7 +76,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
@@ -80,9 +91,18 @@ import (
 	"rentmin/internal/server"
 )
 
+// fatal logs one structured error line and exits: the slog equivalent of
+// log.Fatalf for the daemon's unrecoverable boot failures.
+func fatal(msg string, args ...interface{}) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
-	log.SetPrefix("rentmind: ")
+	// Structured key=value logging: every solve line carries trace_id and
+	// worker fields, so one grep follows a request across a coordinator's
+	// and its workers' logs.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("solve-workers", 0, "concurrent solves on the shared pool (0 = GOMAXPROCS)")
@@ -107,11 +127,13 @@ func main() {
 	advertise := flag.String("advertise", "", "this worker's own base URL as the coordinator should dial it (required with -register)")
 	registerInterval := flag.Duration("register-interval", 15*time.Second, "how often to re-announce to the -register coordinator (re-registration is idempotent and revives an evicted worker)")
 	lpKernel := flag.String("lp-kernel", "auto", "simplex pivot kernel for every solve in this process: auto, dense, sparse (auto = RENTMIN_LP_KERNEL or dense)")
+	debugSolves := flag.Int("debug-solves", 64, "solve flight-recorder entries served by GET /debug/solves")
+	pprofFlag := flag.Bool("pprof", false, "mount the net/http/pprof profiling handlers under /debug/pprof/ (unauthenticated: keep it off the open internet)")
 	flag.Parse()
 
 	kernel, err := lp.ParseKernel(*lpKernel)
 	if err != nil {
-		log.Fatalf("%v", err)
+		fatal("invalid -lp-kernel", "err", err)
 	}
 	lp.SetDefaultKernel(kernel)
 
@@ -128,9 +150,11 @@ func main() {
 		DefaultTimeLimit: *defaultLimit,
 		MaxTimeLimit:     *maxLimit,
 		ProblemCacheSize: *problemCache,
+		DebugSolves:      *debugSolves,
+		Pprof:            *pprofFlag,
 	}
 	if *register != "" && *advertise == "" {
-		log.Fatalf("-register needs -advertise (the base URL the coordinator dials this worker at)")
+		fatal("-register needs -advertise (the base URL the coordinator dials this worker at)")
 	}
 	if *coordinator || *workersEndpoints != "" {
 		var seeds []string
@@ -139,7 +163,7 @@ func main() {
 		}
 		fleet, dialer, err := dialFleet(seeds, *workersWait, *evictStrikes)
 		if err != nil {
-			log.Fatalf("coordinator: %v", err)
+			fatal("coordinator fleet dial failed", "err", err)
 		}
 		cfg.SolverPool = fleet
 		cfg.WorkerDialer = dialer
@@ -147,8 +171,8 @@ func main() {
 		if *workers == 0 {
 			cfg.Workers = 0 // size the lease table for an elastic fleet
 		}
-		log.Printf("coordinator mode: %d workers, fleet capacity %d (elastic: POST /v1/workers to join)",
-			len(fleet.WorkerStats()), fleet.Workers())
+		slog.Info("coordinator mode", "workers", len(fleet.WorkerStats()), "fleet_capacity", fleet.Workers(),
+			"note", "elastic: POST /v1/workers to join")
 	}
 	srv := server.New(cfg)
 	httpSrv := &http.Server{
@@ -162,7 +186,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("serving on %s (%d solve workers, queue %d)", *addr, srv.Workers(), *queue)
+	slog.Info("serving", "addr", *addr, "solve_workers", srv.Workers(), "queue", *queue, "pprof", *pprofFlag)
 
 	if *register != "" {
 		go registerLoop(ctx, strings.TrimRight(strings.TrimSpace(*register), "/"), *advertise, *registerInterval)
@@ -171,22 +195,22 @@ func main() {
 	select {
 	case err := <-errCh:
 		srv.Close()
-		log.Fatalf("listen: %v", err)
+		fatal("listen failed", "err", err)
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: stop routing (healthz 503, queued requests fail
 	// fast), let in-flight solves finish within the grace period, then
 	// release the pool.
-	log.Printf("signal received, draining (grace %v)", *grace)
+	slog.Info("signal received, draining", "grace", *grace)
 	srv.BeginDrain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		slog.Warn("shutdown error", "err", err)
 	}
 	srv.Close()
-	log.Printf("drained, bye")
+	slog.Info("drained, bye")
 }
 
 // dialFleet builds the remote-backed solver pool, retrying capacity
@@ -250,14 +274,14 @@ func registerLoop(ctx context.Context, coordinator, advertise string, interval t
 		switch {
 		case err == nil:
 			if !registered || failures > 0 {
-				log.Printf("registered with coordinator %s as %s", coordinator, advertise)
+				slog.Info("registered with coordinator", "coordinator", coordinator, "advertise", advertise)
 			}
 			registered = true
 			failures = 0
 		default:
 			failures++
 			if failures == 1 || failures%10 == 0 {
-				log.Printf("register with %s failed (attempt %d): %v", coordinator, failures, err)
+				slog.Warn("worker registration failed", "coordinator", coordinator, "attempt", failures, "err", err)
 			}
 		}
 		delay := interval

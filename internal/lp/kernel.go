@@ -89,6 +89,15 @@ var envKernel = sync.OnceValue(func() KernelKind {
 	return k
 })
 
+// EffectiveKernel resolves the kernel a solve with the given selection
+// would actually run: k itself unless it is KernelAuto, in which case
+// the process default installed by SetDefaultKernel, else the
+// RENTMIN_LP_KERNEL environment variable, else the dense tableau. The
+// observability layer uses it to report which kernel a solve paid for.
+func EffectiveKernel(k KernelKind) KernelKind {
+	return (&Options{Kernel: k}).kernel()
+}
+
 // kernel resolves the effective kernel for these options.
 func (o *Options) kernel() KernelKind {
 	if o != nil && o.Kernel != KernelAuto {

@@ -155,8 +155,35 @@ type Options struct {
 	// retained or modified). Calls happen on the coordinator goroutine in
 	// deterministic order, including the initial Incumbent warm start.
 	OnIncumbent func(obj float64, x []float64)
+	// OnRound, when set, is invoked on the coordinator goroutine after
+	// every frontier expansion round has merged, with a snapshot of the
+	// search state. Like OnIncumbent the call order is deterministic for
+	// a fixed worker count, and a nil hook costs a single pointer check
+	// per round — nothing on the node-expansion hot path.
+	OnRound func(RoundInfo)
 	// LP tunes the inner simplex solver.
 	LP *lp.Options
+}
+
+// RoundInfo snapshots the branch-and-bound search at the end of one
+// frontier expansion round, for Options.OnRound observers (the solve
+// flight recorder, progress displays).
+type RoundInfo struct {
+	// Round is the 1-based expansion round index. With Workers == 1 each
+	// round expands a single node; with Workers == w, up to w.
+	Round int
+	// Bound is the best proven global lower bound after the round.
+	Bound float64
+	// Incumbent is the incumbent objective, +Inf while none exists.
+	Incumbent float64
+	// HasIncumbent reports whether an integer-feasible point is known.
+	HasIncumbent bool
+	// Frontier is the number of open nodes after the round's merges.
+	Frontier int
+	// Nodes is the cumulative count of explored nodes.
+	Nodes int
+	// Elapsed is wall-clock time since the search started.
+	Elapsed time.Duration
 }
 
 func (o *Options) intTol() float64 {
@@ -347,6 +374,7 @@ func (s *solver) run() (Result, error) {
 	}
 
 	lowest := root.bound // best proven global bound
+	round := 0
 	for h.Len() > 0 {
 		if err := s.checkLimits(); err != nil {
 			return s.limitResult(lowest), nil
@@ -382,6 +410,18 @@ func (s *solver) run() (Result, error) {
 			} else {
 				s.finish(h, p, kids[i], solved[i])
 			}
+		}
+		round++
+		if s.opts != nil && s.opts.OnRound != nil {
+			s.opts.OnRound(RoundInfo{
+				Round:        round,
+				Bound:        lowest,
+				Incumbent:    s.bestObj,
+				HasIncumbent: s.hasBest,
+				Frontier:     h.Len(),
+				Nodes:        s.nodes,
+				Elapsed:      time.Since(s.start),
+			})
 		}
 	}
 

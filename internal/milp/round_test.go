@@ -1,0 +1,101 @@
+package milp
+
+import (
+	"math"
+	"testing"
+
+	"rentmin/internal/lp"
+)
+
+// coverProblem is a small integer covering instance that needs several
+// branch-and-bound rounds to prove optimality.
+func coverProblem() *Problem {
+	return &Problem{
+		LP: lp.Problem{
+			Objective: []float64{3, 5, 4, 7},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1, 2, 1, 3}, Rel: lp.GE, RHS: 7},
+				{Coeffs: []float64{2, 1, 3, 1}, Rel: lp.GE, RHS: 5},
+				{Coeffs: []float64{1, 1, 1, 1}, Rel: lp.GE, RHS: 4},
+			},
+		},
+		Integer: []bool{true, true, true, true},
+	}
+}
+
+// TestOnRoundTrajectory pins the OnRound contract: invoked once per
+// expansion round with a consistent, monotone snapshot, and the final
+// snapshot agrees with the Result.
+func TestOnRoundTrajectory(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		var rounds []RoundInfo
+		opts := &Options{
+			Workers: workers,
+			OnRound: func(ri RoundInfo) { rounds = append(rounds, ri) },
+		}
+		res := solveOK(t, coverProblem(), opts)
+		if res.Status != Optimal {
+			t.Fatalf("workers=%d: status %v", workers, res.Status)
+		}
+		if len(rounds) == 0 {
+			t.Fatalf("workers=%d: OnRound never fired", workers)
+		}
+		for i, ri := range rounds {
+			if ri.Round != i+1 {
+				t.Fatalf("workers=%d: round index %d at position %d", workers, ri.Round, i)
+			}
+			if ri.HasIncumbent && math.IsInf(ri.Incumbent, 1) {
+				t.Fatalf("workers=%d: HasIncumbent with +Inf incumbent", workers)
+			}
+			if !ri.HasIncumbent && !math.IsInf(ri.Incumbent, 1) {
+				t.Fatalf("workers=%d: incumbent %v without HasIncumbent", workers, ri.Incumbent)
+			}
+			if i > 0 {
+				if ri.Bound < rounds[i-1].Bound-1e-9 {
+					t.Fatalf("workers=%d: bound regressed %v -> %v", workers, rounds[i-1].Bound, ri.Bound)
+				}
+				if ri.Nodes < rounds[i-1].Nodes {
+					t.Fatalf("workers=%d: node count regressed", workers)
+				}
+				if ri.Incumbent > rounds[i-1].Incumbent+1e-9 {
+					t.Fatalf("workers=%d: incumbent worsened %v -> %v", workers, rounds[i-1].Incumbent, ri.Incumbent)
+				}
+			}
+		}
+		// Nodes left open after the last round were pruned at pop time,
+		// so the final snapshot still accounts for every explored node.
+		last := rounds[len(rounds)-1]
+		if last.Nodes != res.Nodes {
+			t.Fatalf("workers=%d: final Nodes %d != Result.Nodes %d", workers, last.Nodes, res.Nodes)
+		}
+		if math.Abs(last.Incumbent-res.Objective) > 1e-9 {
+			t.Fatalf("workers=%d: final incumbent %v != objective %v", workers, last.Incumbent, res.Objective)
+		}
+	}
+}
+
+// TestOnRoundDeterministic: for a fixed worker count the round
+// trajectory is identical run to run.
+func TestOnRoundDeterministic(t *testing.T) {
+	capture := func() []RoundInfo {
+		var rounds []RoundInfo
+		opts := &Options{
+			Workers: 2,
+			OnRound: func(ri RoundInfo) {
+				ri.Elapsed = 0 // wall clock is the only nondeterministic field
+				rounds = append(rounds, ri)
+			},
+		}
+		solveOK(t, coverProblem(), opts)
+		return rounds
+	}
+	a, b := capture(), capture()
+	if len(a) != len(b) {
+		t.Fatalf("round counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

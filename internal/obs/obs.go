@@ -1,0 +1,149 @@
+// Package obs is the zero-dependency observability layer shared by the
+// solver service: trace IDs propagated across processes via
+// context.Context and the X-Rentmin-Trace-Id header, a per-request span
+// tracer, a per-solve flight recorder (ring buffer behind GET
+// /debug/solves), and a sliding-window quantile estimator backing the
+// /metrics latency summaries.
+//
+// Everything here is deliberately cheap enough to leave on in
+// production: the tracer has a nil fast path (a nil *Trace hands out
+// no-op spans without allocating), the recorder is a fixed-size ring,
+// and nothing in the branch-and-bound hot loop touches this package at
+// all — the search trajectory is observed through the nil-guarded
+// milp.Options hooks instead.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fallbackCounter feeds NewTraceID when crypto/rand is unavailable
+// (never in practice, but an ID generator must not fail).
+var fallbackCounter atomic.Uint64
+
+// NewTraceID returns a fresh 16-byte random trace ID in lowercase hex,
+// the same shape as a W3C trace-id. It never fails.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%032x", fallbackCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s is acceptable as a propagated trace
+// ID: 1–64 characters drawn from [A-Za-z0-9_-]. The server generates
+// 32-hex-char IDs but accepts any token in this alphabet so callers can
+// supply their own correlation keys.
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the given trace ID. The client
+// stamps it onto outgoing requests as the X-Rentmin-Trace-Id header, so
+// annotating a request context here is all a caller needs to do for the
+// ID to follow the solve across processes.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "" if none.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// SpanRecord is one completed span: a named phase of a request with its
+// offset from the trace start and its duration.
+type SpanRecord struct {
+	Name  string
+	Start time.Duration // offset from Trace start
+	Dur   time.Duration
+}
+
+// Trace collects the spans of one request. A nil *Trace is a valid
+// no-op tracer: StartSpan returns a zero Span whose End does nothing,
+// without allocating — callers never need to guard call sites.
+type Trace struct {
+	ID    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTrace starts a trace identified by id.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// Span is an in-flight phase of a Trace. The zero Span (from a nil
+// tracer) is inert.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Duration
+}
+
+// StartSpan opens a named span. On a nil tracer it returns an inert
+// zero Span and performs no allocation.
+func (t *Trace) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Since(t.start)}
+}
+
+// End closes the span, appending it to its trace. Inert spans no-op.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := time.Since(s.t.start)
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, SpanRecord{Name: s.name, Start: s.start, Dur: end - s.start})
+	s.t.mu.Unlock()
+}
+
+// Spans returns a copy of the completed spans in completion order.
+// Safe on a nil tracer.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Elapsed is the time since the trace started (zero on a nil tracer).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}

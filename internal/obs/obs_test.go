@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 32 {
+			t.Fatalf("trace ID %q: want 32 hex chars", id)
+		}
+		if !ValidTraceID(id) {
+			t.Fatalf("trace ID %q fails its own validator", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	valid := []string{"a", "deadbeef", "A-Z_09", "0123456789abcdef0123456789abcdef"}
+	for _, s := range valid {
+		if !ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", "has space", "semi;colon", "x/y", "héx", string(make([]byte, 65))}
+	for _, s := range invalid {
+		if ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestTraceIDContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Fatalf("empty context carries trace ID %q", got)
+	}
+	ctx = WithTraceID(ctx, "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("TraceID = %q, want abc123", got)
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("id1")
+	s := tr.StartSpan("decode")
+	s.End()
+	s2 := tr.StartSpan("solve")
+	time.Sleep(time.Millisecond)
+	s2.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "decode" || spans[1].Name != "solve" {
+		t.Fatalf("span names = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Dur <= 0 {
+		t.Fatalf("solve span has non-positive duration %v", spans[1].Dur)
+	}
+	if spans[1].Start < spans[0].Start {
+		t.Fatalf("spans out of order: %v before %v", spans[1].Start, spans[0].Start)
+	}
+}
+
+// TestNilTracerZeroAllocs pins the off-by-default contract: a nil
+// tracer must cost nothing on hot paths — no allocations for starting
+// or ending spans, and nil-safe accessors.
+func TestNilTracerZeroAllocs(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.StartSpan("hot")
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer StartSpan/End allocates %v times per op, want 0", allocs)
+	}
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer Spans() != nil")
+	}
+	if tr.Elapsed() != 0 {
+		t.Fatal("nil tracer Elapsed() != 0")
+	}
+}
+
+func TestNilRecorderAndWindowSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(SolveRecord{})
+	if r.Last(10) != nil || r.Total() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+	var w *Window
+	w.Add(1)
+	if w.Count() != 0 {
+		t.Fatal("nil window not inert")
+	}
+	qs := w.Quantiles(0.5)
+	if !math.IsNaN(qs[0]) {
+		t.Fatalf("nil window quantile = %v, want NaN", qs[0])
+	}
+}
+
+func TestRecorderRingNewestFirst(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Add(SolveRecord{TraceID: fmt.Sprintf("t%d", i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	recs := r.Last(0)
+	if len(recs) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	for i, want := range []string{"t9", "t8", "t7", "t6"} {
+		if recs[i].TraceID != want {
+			t.Fatalf("Last[%d] = %q, want %q (full: %+v)", i, recs[i].TraceID, want, recs)
+		}
+	}
+	if got := r.Last(2); len(got) != 2 || got[0].TraceID != "t9" || got[1].TraceID != "t8" {
+		t.Fatalf("Last(2) = %+v", got)
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 3; i++ {
+		r.Add(SolveRecord{TraceID: fmt.Sprintf("t%d", i)})
+	}
+	recs := r.Last(0)
+	if len(recs) != 3 {
+		t.Fatalf("retained %d, want 3", len(recs))
+	}
+	for i, want := range []string{"t2", "t1", "t0"} {
+		if recs[i].TraceID != want {
+			t.Fatalf("Last[%d] = %q, want %q", i, recs[i].TraceID, want)
+		}
+	}
+}
+
+func TestWindowQuantiles(t *testing.T) {
+	w := NewWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Add(float64(i))
+	}
+	qs := w.Quantiles(0, 0.5, 0.99, 1)
+	if qs[0] != 1 {
+		t.Fatalf("q0 = %v, want 1", qs[0])
+	}
+	if qs[1] < 49 || qs[1] > 51 {
+		t.Fatalf("median = %v, want ~50", qs[1])
+	}
+	if qs[3] != 100 {
+		t.Fatalf("q1 = %v, want 100", qs[3])
+	}
+	// Window slides: add 100 more larger values, median moves up.
+	for i := 101; i <= 200; i++ {
+		w.Add(float64(i))
+	}
+	if med := w.Quantiles(0.5)[0]; med < 149 || med > 151 {
+		t.Fatalf("slid median = %v, want ~150", med)
+	}
+	if w.Count() != 200 {
+		t.Fatalf("Count = %d, want 200", w.Count())
+	}
+}
+
+func TestWindowEmptyQuantilesNaN(t *testing.T) {
+	w := NewWindow(16)
+	for _, q := range w.Quantiles(0.5, 0.99) {
+		if !math.IsNaN(q) {
+			t.Fatalf("empty window quantile = %v, want NaN", q)
+		}
+	}
+}

@@ -29,6 +29,9 @@ type metrics struct {
 
 	lat  [latencyWindow]float64 // solve/batch request latencies, ms
 	latN int                    // total recorded (ring index = latN % window)
+
+	qw  [latencyWindow]float64 // per-solve queue waits (lease acquisition), ms
+	qwN int
 }
 
 type reqKey struct {
@@ -54,6 +57,16 @@ func (m *metrics) recordLatency(ms float64) {
 	defer m.mu.Unlock()
 	m.lat[m.latN%latencyWindow] = ms
 	m.latN++
+}
+
+// recordQueueWait folds one solve's lease-wait time into its quantile
+// window. Kept separate from recordLatency so dashboards can tell
+// queueing delay (admission pressure) apart from solve time.
+func (m *metrics) recordQueueWait(ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.qw[m.qwN%latencyWindow] = ms
+	m.qwN++
 }
 
 // recordSolution folds one solved problem's solver statistics in.
@@ -140,11 +153,17 @@ func (m *metrics) writeTo(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# TYPE rentmind_speculation_waste_ratio gauge\n")
 	fmt.Fprintf(w, "rentmind_speculation_waste_ratio %g\n", ratio)
 
-	p50, p99 := m.quantiles()
+	p50, p99 := windowQuantiles(m.lat[:], m.latN)
 	fmt.Fprintf(w, "# HELP rentmind_solve_latency_ms Solve/batch request latency over the last %d requests.\n", latencyWindow)
 	fmt.Fprintf(w, "# TYPE rentmind_solve_latency_ms summary\n")
 	fmt.Fprintf(w, "rentmind_solve_latency_ms{quantile=\"0.5\"} %g\n", p50)
 	fmt.Fprintf(w, "rentmind_solve_latency_ms{quantile=\"0.99\"} %g\n", p99)
+
+	q50, q99 := windowQuantiles(m.qw[:], m.qwN)
+	fmt.Fprintf(w, "# HELP rentmind_queue_wait_ms Time solves spent waiting for a worker lease over the last %d solves (batch items included).\n", latencyWindow)
+	fmt.Fprintf(w, "# TYPE rentmind_queue_wait_ms summary\n")
+	fmt.Fprintf(w, "rentmind_queue_wait_ms{quantile=\"0.5\"} %g\n", q50)
+	fmt.Fprintf(w, "rentmind_queue_wait_ms{quantile=\"0.99\"} %g\n", q99)
 
 	fmt.Fprintf(w, "# HELP rentmind_workers Solver pool size.\n")
 	fmt.Fprintf(w, "# TYPE rentmind_workers gauge\n")
@@ -265,19 +284,29 @@ func writeFleet(w io.Writer, fleet []rentmin.WorkerStatus) {
 	for _, ws := range fleet {
 		fmt.Fprintf(w, "rentmind_worker_faults_total{worker=%q} %d\n", ws.Name, ws.Faults)
 	}
+	fmt.Fprintf(w, "# HELP rentmind_worker_dispatch_rtt_ms Round-trip time of successful dispatches to the worker (sliding window).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_worker_dispatch_rtt_ms summary\n")
+	for _, ws := range fleet {
+		if ws.RTTSamples == 0 {
+			continue // no successful dispatch yet: no window to summarize
+		}
+		fmt.Fprintf(w, "rentmind_worker_dispatch_rtt_ms{worker=%q,quantile=\"0.5\"} %g\n", ws.Name, ws.RTTp50Ms)
+		fmt.Fprintf(w, "rentmind_worker_dispatch_rtt_ms{worker=%q,quantile=\"0.99\"} %g\n", ws.Name, ws.RTTp99Ms)
+	}
 }
 
-// quantiles returns (p50, p99) over the window. Caller holds mu.
-func (m *metrics) quantiles() (p50, p99 float64) {
-	n := m.latN
-	if n > latencyWindow {
-		n = latencyWindow
+// windowQuantiles returns (p50, p99) over a sliding window holding
+// total recorded values (0,0 when empty). Caller holds mu.
+func windowQuantiles(win []float64, total int) (p50, p99 float64) {
+	n := total
+	if n > len(win) {
+		n = len(win)
 	}
 	if n == 0 {
 		return 0, 0
 	}
 	tmp := make([]float64, n)
-	copy(tmp, m.lat[:n])
+	copy(tmp, win[:n])
 	sort.Float64s(tmp)
 	at := func(q float64) float64 {
 		i := int(q * float64(n-1))

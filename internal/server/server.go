@@ -9,8 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"runtime"
 	"strconv"
@@ -22,6 +23,7 @@ import (
 	"rentmin"
 	"rentmin/client"
 	"rentmin/internal/core"
+	"rentmin/internal/obs"
 )
 
 // Config tunes a Server. The zero value is serviceable: every field has a
@@ -81,6 +83,18 @@ type Config struct {
 	// cache (PUT /v1/problems/{hash}) in entries (0 = 256); least
 	// recently used documents are evicted beyond it.
 	ProblemCacheSize int
+	// DebugSolves bounds the solve flight recorder served by
+	// GET /debug/solves (0 = 64 entries): every solve and batch item —
+	// failed ones included — leaves a summary record in the ring.
+	DebugSolves int
+	// Pprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/ (cmd/rentmind's -pprof flag). Off by default: the
+	// profile endpoints are unauthenticated and can burn CPU.
+	Pprof bool
+	// Logger receives the daemon's structured log lines (dispatches,
+	// evictions, registrations, each with trace_id/worker/item fields
+	// where they apply). Nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +137,12 @@ func (c Config) withDefaults() Config {
 	if c.ProblemCacheSize <= 0 {
 		c.ProblemCacheSize = 256
 	}
+	if c.DebugSolves <= 0 {
+		c.DebugSolves = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
 	return c
 }
 
@@ -142,6 +162,8 @@ type Server struct {
 	mux   *http.ServeMux
 	met   *metrics
 	cache *problemCache
+	rec   *obs.Recorder // solve flight recorder (GET /debug/solves)
+	log   *slog.Logger
 
 	// slots admits a request into the system (capacity Workers+QueueDepth,
 	// try-acquire → 429); leases let it run on the pool (capacity Workers).
@@ -182,6 +204,8 @@ func New(cfg Config) *Server {
 		mux:    http.NewServeMux(),
 		met:    newMetrics(),
 		cache:  newProblemCache(cfg.ProblemCacheSize),
+		rec:    obs.NewRecorder(cfg.DebugSolves),
+		log:    cfg.Logger,
 		slots:  make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		leases: make(chan struct{}, cfg.Workers),
 		drain:  make(chan struct{}),
@@ -195,6 +219,17 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/capacity", s.handleCapacity)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
+	if cfg.Pprof {
+		// The stdlib registers these on DefaultServeMux in its init; the
+		// daemon serves its own mux, so mount them explicitly. Index
+		// dispatches /debug/pprof/{heap,goroutine,...} itself.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	if cfg.HealthInterval > 0 && p.Remote() {
 		s.healthDone = make(chan struct{})
 		go s.healthLoop(cfg.HealthInterval)
@@ -217,7 +252,7 @@ func (s *Server) healthLoop(interval time.Duration) {
 		case <-t.C:
 			ctx, cancel := context.WithTimeout(context.Background(), interval)
 			for _, name := range s.pool.ProbeWorkers(ctx) {
-				log.Printf("coordinator: evicted unresponsive worker %s (rejoins by re-registering)", name)
+				s.log.Warn("evicted unresponsive worker", "worker", name, "rejoin", "re-register")
 			}
 			cancel()
 		}
@@ -266,9 +301,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case strings.HasPrefix(endpoint, "/v1/problems/"):
 		endpoint = "/v1/problems"
+	case strings.HasPrefix(endpoint, "/debug/pprof"):
+		endpoint = "/debug/pprof"
 	default:
 		switch endpoint {
-		case "/v1/solve", "/v1/batch", "/v1/capacity", "/v1/workers", "/healthz", "/metrics":
+		case "/v1/solve", "/v1/batch", "/v1/capacity", "/v1/workers", "/healthz", "/metrics", "/debug/solves":
 		default:
 			endpoint = "other"
 		}
@@ -421,10 +458,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
+	reqStart := time.Now()
+	tctx, traceID := s.traceContext(w, r)
+	tr := obs.NewTrace(traceID)
+	decodeSpan := tr.StartSpan("decode")
 	var req client.SolveRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	decodeSpan.End()
 	limit, err := s.solveTimeLimit(req.TimeLimitMs)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
@@ -455,19 +497,33 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	queueSpan := tr.StartSpan("queue")
+	qStart := time.Now()
 	release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
 	defer release()
+	queueWait := time.Since(qStart)
+	queueSpan.End()
 
-	ctx, cancel := context.WithTimeout(r.Context(), limit)
+	ctx, cancel := context.WithTimeout(tctx, limit)
 	defer cancel()
 	var sol rentmin.Solution
+	var st *searchTrace
+	solveSpan := tr.StartSpan("solve")
+	solveStart := time.Now()
 	opts, err := s.solveOptions(ctx, req.DisableLPWarmStart)
 	if err == nil {
+		if req.Stats {
+			st = &searchTrace{}
+			st.install(opts)
+		}
 		sol, err = s.pool.SolveContext(ctx, p, opts)
 	}
+	solveDur := time.Since(solveStart)
+	solveSpan.End()
+	s.recordSolve(solveRecord(traceID, "solve", 0, reqStart, queueWait, solveDur, sol, err, st, tr))
 	if err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -483,7 +539,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.recordSolution(sol)
-	s.writeJSON(w, http.StatusOK, toWireSolution(sol))
+	ws := toWireSolution(sol)
+	if req.Stats {
+		ws.Stats = solveStats(traceID, queueWait, solveDur, sol, st, tr)
+	}
+	s.writeJSON(w, http.StatusOK, ws)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -491,6 +551,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
+	reqStart := time.Now()
+	tctx, traceID := s.traceContext(w, r)
+	tr := obs.NewTrace(traceID)
 	var req client.BatchRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -538,19 +601,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer releaseSlot()
 
-	ctx, cancel := context.WithTimeout(r.Context(), limit)
+	ctx, cancel := context.WithTimeout(tctx, limit)
 	defer cancel()
-	results := s.solveAll(ctx, problems)
+	results := s.solveAll(ctx, problems, req.Stats)
 	// Solver statistics are recorded before the disconnect check: the
 	// pool did the work whether or not anyone is left to read the answer.
 	resp := client.BatchResponse{Solutions: make([]client.Solution, len(results))}
 	for i, res := range results {
+		s.recordSolve(solveRecord(traceID, "batch", i, reqStart, res.queueWait, res.dur, res.sol, res.err, res.st, tr))
 		if res.err != nil {
 			resp.Solutions[i] = client.Solution{Error: itemError(res.err)}
 			continue
 		}
 		s.met.recordSolution(res.sol)
-		resp.Solutions[i] = toWireSolution(res.sol)
+		ws := toWireSolution(res.sol)
+		if req.Stats {
+			ws.Stats = solveStats(traceID, res.queueWait, res.dur, res.sol, res.st, tr)
+		}
+		resp.Solutions[i] = ws
 	}
 	if r.Context().Err() != nil {
 		s.writeError(w, http.StatusServiceUnavailable, "client went away")
@@ -560,8 +628,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 type itemResult struct {
-	sol rentmin.Solution
-	err error
+	sol       rentmin.Solution
+	err       error
+	queueWait time.Duration // time spent waiting for a worker lease
+	dur       time.Duration // time spent solving
+	st        *searchTrace  // nil unless the request opted into stats
 }
 
 // solveAll fans a batch out over the worker leases: up to Workers
@@ -572,7 +643,7 @@ type itemResult struct {
 // solves with the same PerSolveWorkers inner parallelism as /v1/solve.
 // Lower indexes start first; once ctx is done or the server drains,
 // remaining items fail fast with per-item errors.
-func (s *Server) solveAll(ctx context.Context, problems []*rentmin.Problem) []itemResult {
+func (s *Server) solveAll(ctx context.Context, problems []*rentmin.Problem, stats bool) []itemResult {
 	results := make([]itemResult, len(problems))
 	dispatchers := s.cfg.Workers
 	if dispatchers > len(problems) {
@@ -589,9 +660,11 @@ func (s *Server) solveAll(ctx context.Context, problems []*rentmin.Problem) []it
 				if i >= len(problems) {
 					return
 				}
+				qStart := time.Now()
 				releaseLease, err := s.leaseWait(ctx)
+				qw := time.Since(qStart)
 				if err != nil {
-					results[i].err = err
+					results[i] = itemResult{err: err, queueWait: qw}
 					continue // drain the remaining indexes fast
 				}
 				// Options are rebuilt per item: the batch deadline is
@@ -601,12 +674,18 @@ func (s *Server) solveAll(ctx context.Context, problems []*rentmin.Problem) []it
 				opts, err := s.solveOptions(ctx, false)
 				if err != nil {
 					releaseLease()
-					results[i].err = err
+					results[i] = itemResult{err: err, queueWait: qw}
 					continue
 				}
+				var st *searchTrace
+				if stats {
+					st = &searchTrace{}
+					st.install(opts)
+				}
+				solveStart := time.Now()
 				sol, err := s.pool.SolveContext(ctx, problems[i], opts)
 				releaseLease()
-				results[i] = itemResult{sol: sol, err: err}
+				results[i] = itemResult{sol: sol, err: err, queueWait: qw, dur: time.Since(solveStart), st: st}
 			}
 		}()
 	}
@@ -792,6 +871,7 @@ func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadGateway, err.Error())
 		return
 	}
+	s.log.Info("worker registered", "worker", ep)
 	s.writeJSON(w, http.StatusOK, s.fleetResponse())
 }
 
@@ -822,6 +902,7 @@ func (s *Server) handleWorkerRemove(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Sprintf("worker %q is not a live fleet member", ep))
 		return
 	}
+	s.log.Info("worker removed", "worker", ep)
 	s.writeJSON(w, http.StatusOK, s.fleetResponse())
 }
 
@@ -894,7 +975,9 @@ func toWireSolution(sol rentmin.Solution) client.Solution {
 		Nodes:          sol.Nodes,
 		LPIterations:   sol.LPIterations,
 		LPSolves:       sol.LPSolves,
+		WarmLPSolves:   sol.WarmLPSolves,
 		WastedLPSolves: sol.WastedLPSolves,
+		LPKernel:       sol.LPKernel,
 		ElapsedMs:      float64(sol.Elapsed) / float64(time.Millisecond),
 	}
 }

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rentmin"
+	"rentmin/client"
+	"rentmin/internal/obs"
+)
+
+func TestSolveStatsBlock(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	sol, err := c.Solve(context.Background(), fastProblem(70), &client.Options{Stats: true})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	st := sol.Stats
+	if st == nil {
+		t.Fatal("stats requested but response has no stats block")
+	}
+	if !obs.ValidTraceID(st.TraceID) {
+		t.Errorf("stats trace ID %q is not valid", st.TraceID)
+	}
+	if st.LPKernel == "" {
+		t.Error("stats block missing lp_kernel")
+	}
+	if st.SolveMs <= 0 {
+		t.Errorf("solve_ms = %g, want > 0", st.SolveMs)
+	}
+	if st.QueueWaitMs < 0 {
+		t.Errorf("queue_wait_ms = %g, want >= 0", st.QueueWaitMs)
+	}
+	// The wire Solution carries the warm/cold split too (satellite view);
+	// the stats block derives cold = total - warm.
+	if st.WarmLPSolves != sol.WarmLPSolves {
+		t.Errorf("stats warm LP solves %d != solution's %d", st.WarmLPSolves, sol.WarmLPSolves)
+	}
+	if st.WarmLPSolves+st.ColdLPSolves != sol.LPSolves {
+		t.Errorf("warm %d + cold %d != total LP solves %d", st.WarmLPSolves, st.ColdLPSolves, sol.LPSolves)
+	}
+	// A local solve runs the search hooks: the trajectory must be present.
+	if len(st.Incumbents) == 0 {
+		t.Error("local solve recorded no incumbent points")
+	}
+	if len(st.Rounds) == 0 {
+		t.Error("local solve recorded no round points")
+	}
+	var sawSolvePhase bool
+	for _, ph := range st.Phases {
+		if ph.Name == "solve" {
+			sawSolvePhase = true
+			if ph.DurMs <= 0 {
+				t.Errorf("solve phase duration %g, want > 0", ph.DurMs)
+			}
+		}
+	}
+	if !sawSolvePhase {
+		t.Errorf("phases %v missing the solve span", st.Phases)
+	}
+}
+
+func TestStatsOmittedWithoutOptIn(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	sol, err := c.Solve(context.Background(), fastProblem(40), nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Stats != nil {
+		t.Errorf("stats block present without opt-in: %+v", sol.Stats)
+	}
+	if sol.LPKernel == "" || sol.LPSolves < sol.WarmLPSolves {
+		t.Errorf("wire solution missing kernel/warm split: kernel=%q warm=%d total=%d",
+			sol.LPKernel, sol.WarmLPSolves, sol.LPSolves)
+	}
+}
+
+func TestClientTraceIDAdopted(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := client.WithTraceID(context.Background(), "trace-adopt-test")
+	sol, err := c.Solve(ctx, fastProblem(40), &client.Options{Stats: true})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Stats == nil || sol.Stats.TraceID != "trace-adopt-test" {
+		t.Fatalf("server minted its own ID instead of adopting the caller's: %+v", sol.Stats)
+	}
+	recs, err := c.DebugSolves(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("DebugSolves: %v", err)
+	}
+	if len(recs.Solves) == 0 || recs.Solves[0].TraceID != "trace-adopt-test" {
+		t.Fatalf("flight recorder did not file the solve under the caller's ID: %+v", recs.Solves)
+	}
+}
+
+func TestDebugSolvesRing(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, DebugSolves: 2})
+	ctx := context.Background()
+	for _, target := range []int{10, 40, 70} {
+		if _, err := c.Solve(ctx, fastProblem(target), nil); err != nil {
+			t.Fatalf("Solve target %d: %v", target, err)
+		}
+	}
+	recs, err := c.DebugSolves(ctx, 0)
+	if err != nil {
+		t.Fatalf("DebugSolves: %v", err)
+	}
+	if recs.Total != 3 {
+		t.Errorf("recorder total = %d, want 3", recs.Total)
+	}
+	if len(recs.Solves) != 2 {
+		t.Fatalf("ring holds %d records, want the configured 2", len(recs.Solves))
+	}
+	for i, rec := range recs.Solves {
+		if rec.Endpoint != "solve" || !obs.ValidTraceID(rec.TraceID) {
+			t.Errorf("record %d = %+v, want endpoint solve with a valid trace ID", i, rec)
+		}
+		if rec.LPSolves <= 0 || rec.SolveMs <= 0 {
+			t.Errorf("record %d missing solver statistics: %+v", i, rec)
+		}
+	}
+	// Newest first: the last solve (target 70, cost 124) leads.
+	if recs.Solves[0].Cost != 124 {
+		t.Errorf("newest record cost = %d, want 124", recs.Solves[0].Cost)
+	}
+}
+
+func TestTracePropagationAcrossFleet(t *testing.T) {
+	// A coordinator with two real worker daemons: a trace ID minted by the
+	// caller must ride the batch dispatches to whichever worker answered
+	// and surface in that worker's flight recorder.
+	_, c := newElasticCoordinator(t, Config{})
+	ctx := context.Background()
+	w1 := startWorkerDaemon(t, 2)
+	w2 := startWorkerDaemon(t, 2)
+	for _, hs := range []*httptest.Server{w1, w2} {
+		if _, err := c.RegisterWorker(ctx, hs.URL); err != nil {
+			t.Fatalf("RegisterWorker(%s): %v", hs.URL, err)
+		}
+	}
+
+	traceID := client.NewTraceID()
+	tctx := client.WithTraceID(ctx, traceID)
+	targets := []int{10, 40, 70, 100}
+	problems := make([]*rentmin.Problem, 0, len(targets))
+	for _, target := range targets {
+		problems = append(problems, fastProblem(target))
+	}
+	sols, err := c.SolveBatch(tctx, problems, &client.Options{Stats: true})
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+
+	workers := map[string]bool{}
+	for i, sol := range sols {
+		if sol.Error != "" {
+			t.Fatalf("item %d failed: %s", i, sol.Error)
+		}
+		if sol.Stats == nil {
+			t.Fatalf("item %d has no stats block", i)
+		}
+		if sol.Stats.TraceID != traceID {
+			t.Errorf("item %d trace ID %q, want the caller's %q", i, sol.Stats.TraceID, traceID)
+		}
+		if sol.Stats.Worker != w1.URL && sol.Stats.Worker != w2.URL {
+			t.Errorf("item %d attributed to %q, want one of the two workers", i, sol.Stats.Worker)
+		}
+		workers[sol.Stats.Worker] = true
+	}
+
+	// Every worker that answered an item filed the solve under the same
+	// trace ID in its own flight recorder — the cross-process correlation
+	// the header exists for.
+	for _, hs := range []*httptest.Server{w1, w2} {
+		if !workers[hs.URL] {
+			continue
+		}
+		recs, err := client.New(hs.URL).DebugSolves(ctx, 0)
+		if err != nil {
+			t.Fatalf("worker DebugSolves: %v", err)
+		}
+		found := false
+		for _, rec := range recs.Solves {
+			if rec.TraceID == traceID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("worker %s answered an item but its recorder has no record under %q: %+v",
+				hs.URL, traceID, recs.Solves)
+		}
+	}
+
+	// The coordinator's own recorder holds the per-item batch records with
+	// worker attribution.
+	recs, err := c.DebugSolves(ctx, 0)
+	if err != nil {
+		t.Fatalf("coordinator DebugSolves: %v", err)
+	}
+	batchItems := 0
+	for _, rec := range recs.Solves {
+		if rec.Endpoint == "batch" && rec.TraceID == traceID {
+			batchItems++
+			if rec.Worker == "" {
+				t.Errorf("batch item %d has no worker attribution", rec.Item)
+			}
+		}
+	}
+	if batchItems != len(targets) {
+		t.Errorf("coordinator recorded %d batch items under the trace, want %d", batchItems, len(targets))
+	}
+
+	// And the dispatch RTT series appears for workers that served traffic.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "rentmind_worker_dispatch_rtt_ms") {
+		t.Error("coordinator /metrics missing rentmind_worker_dispatch_rtt_ms after dispatches")
+	}
+}
+
+func TestMetricsRatioGuardsOnZeroTraffic(t *testing.T) {
+	// Regression: with zero LP solves and zero cache lookups the ratio
+	// gauges must emit 0, not NaN (0/0), which breaks Prometheus scrapes.
+	_, c := newTestServer(t, Config{Workers: 1})
+	metrics, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rentmind_speculation_waste_ratio 0\n",
+		"rentmind_problem_cache_hit_ratio 0\n",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("fresh /metrics missing %q", strings.TrimSpace(want))
+		}
+	}
+	if strings.Contains(metrics, "NaN") {
+		t.Error("fresh /metrics emits NaN")
+	}
+}
+
+func TestQueueWaitMetric(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	if _, err := c.Solve(context.Background(), fastProblem(40), nil); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	metrics, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`rentmind_queue_wait_ms{quantile="0.5"}`,
+		`rentmind_queue_wait_ms{quantile="0.99"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+func TestPprofGate(t *testing.T) {
+	get := func(cfg Config, path string) int {
+		t.Helper()
+		s := New(cfg)
+		ts := httptest.NewServer(s)
+		defer func() {
+			ts.Close()
+			s.Close()
+		}()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(Config{Workers: 1, Pprof: true}, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof enabled: cmdline answered %d, want 200", code)
+	}
+	if code := get(Config{Workers: 1}, "/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Errorf("pprof disabled: cmdline answered %d, want 404", code)
+	}
+}
+
+func TestDebugSolvesRejectsBadCount(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	for _, q := range []string{"?n=-1", "?n=x"} {
+		r := httptest.NewRequest("GET", "/debug/solves"+q, nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("GET /debug/solves%s = %d, want 400", q, w.Code)
+		}
+	}
+}

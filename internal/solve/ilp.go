@@ -55,6 +55,14 @@ type ILPOptions struct {
 	// same optimal costs; they differ only in per-iteration cost on
 	// large sparse instances.
 	LPKernel lp.KernelKind
+	// OnIncumbent, when set, observes every incumbent the search
+	// accepts, with its total rental cost. Calls happen on the search
+	// coordinator goroutine in deterministic order (observability hook;
+	// a nil hook costs nothing).
+	OnIncumbent func(cost float64)
+	// OnRound, when set, observes the branch-and-bound state after every
+	// frontier expansion round (observability hook; see milp.RoundInfo).
+	OnRound func(milp.RoundInfo)
 }
 
 // ILPResult is the outcome of the integer-programming solve.
@@ -197,6 +205,10 @@ func ILPContext(ctx context.Context, m *core.CostModel, target int, opts *ILPOpt
 	if opts.LPKernel != lp.KernelAuto {
 		mopts.LP = &lp.Options{Kernel: opts.LPKernel}
 	}
+	if cb := opts.OnIncumbent; cb != nil {
+		mopts.OnIncumbent = func(obj float64, _ []float64) { cb(obj) }
+	}
+	mopts.OnRound = opts.OnRound
 	if !opts.DisableStrongBranch {
 		mopts.StrongBranch = 8
 	}

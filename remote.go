@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"rentmin/internal/obs"
 	"rentmin/internal/pool"
 )
 
@@ -95,6 +96,13 @@ type WorkerStatus struct {
 	// or strike eviction); its counters are retained so dashboards keep
 	// the history and a rejoin resumes them.
 	Removed bool
+	// RTTSamples is the number of dispatch round trips measured; RTTp50Ms
+	// and RTTp99Ms are quantiles over a sliding window of the most recent
+	// ones (coordinator-observed: queue+solve time on the worker plus the
+	// wire). Zero samples means no dispatch has completed yet.
+	RTTSamples int64
+	RTTp50Ms   float64
+	RTTp99Ms   float64
 }
 
 // NewRemoteSolverPool builds a SolverPool whose capacity is a fleet of
@@ -302,6 +310,12 @@ func (p *SolverPool) WorkerStats() []WorkerStatus {
 			Healthy:    !s.BackingOff && !s.Removed,
 			Removed:    s.Removed,
 		}
+		if w := p.rttWindow(s.Name); w != nil {
+			qs := w.Quantiles(0.5, 0.99)
+			out[i].RTTSamples = w.Count()
+			out[i].RTTp50Ms = qs[0]
+			out[i].RTTp99Ms = qs[1]
+		}
 	}
 	return out
 }
@@ -326,5 +340,39 @@ func (p *SolverPool) dispatch(ctx context.Context, prob *Problem, opts *SolveOpt
 	if rw == nil {
 		return Solution{}, errors.New("rentmin: remote dispatch outside a pool task")
 	}
-	return rw.Solve(ctx, prob, opts)
+	start := time.Now()
+	sol, err := rw.Solve(ctx, prob, opts)
+	if err != nil {
+		return sol, err
+	}
+	// Attribution + RTT are coordinator-side observations: the worker
+	// does not know the name the coordinator dispatches it under, and a
+	// faulted attempt says nothing about the worker's solve latency.
+	sol.Worker = rw.Name()
+	p.recordRTT(rw.Name(), time.Since(start))
+	return sol, nil
+}
+
+// recordRTT folds one successful dispatch round trip into the worker's
+// sliding RTT window (creating it on first use).
+func (p *SolverPool) recordRTT(worker string, d time.Duration) {
+	p.rttMu.Lock()
+	defer p.rttMu.Unlock()
+	if p.rtt == nil {
+		p.rtt = make(map[string]*obs.Window)
+	}
+	w := p.rtt[worker]
+	if w == nil {
+		w = obs.NewWindow(256)
+		p.rtt[worker] = w
+	}
+	w.Add(float64(d) / float64(time.Millisecond))
+}
+
+// rttWindow returns the named worker's RTT window, or nil if no dispatch
+// to it has succeeded yet.
+func (p *SolverPool) rttWindow(worker string) *obs.Window {
+	p.rttMu.Lock()
+	defer p.rttMu.Unlock()
+	return p.rtt[worker]
 }

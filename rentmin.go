@@ -63,6 +63,7 @@ import (
 	"rentmin/internal/heuristics"
 	"rentmin/internal/lp"
 	"rentmin/internal/milp"
+	"rentmin/internal/obs"
 	"rentmin/internal/pool"
 	"rentmin/internal/rng"
 	"rentmin/internal/solve"
@@ -161,6 +162,36 @@ type SolveOptions struct {
 	// workers pick their kernel with rentmind's -lp-kernel flag (or
 	// their own environment).
 	LPKernel string
+	// OnIncumbent, when set, observes every incumbent the search accepts
+	// with its total rental cost, in deterministic order on the search
+	// coordinator goroutine. Observability hook (the solve flight
+	// recorder); a nil hook costs nothing. Local solves only: a remote
+	// SolverPool does not forward callbacks over the wire, and SolveBatch
+	// ignores it (per-item trajectories would interleave).
+	OnIncumbent func(cost float64)
+	// OnRound, when set, observes the branch-and-bound search after
+	// every frontier expansion round. Same locality and determinism
+	// contract as OnIncumbent.
+	OnRound func(RoundInfo)
+}
+
+// RoundInfo snapshots the branch-and-bound search at the end of one
+// frontier expansion round, for SolveOptions.OnRound observers.
+type RoundInfo struct {
+	// Round is the 1-based expansion round index.
+	Round int
+	// Bound is the best proven global lower bound after the round.
+	Bound float64
+	// Incumbent is the incumbent cost, +Inf while none exists.
+	Incumbent float64
+	// HasIncumbent reports whether a feasible allocation is known yet.
+	HasIncumbent bool
+	// Frontier is the number of open nodes after the round's merges.
+	Frontier int
+	// Nodes is the cumulative count of explored nodes.
+	Nodes int
+	// Elapsed is wall-clock time since the search started.
+	Elapsed time.Duration
 }
 
 // Solution is the outcome of the exact solver.
@@ -178,6 +209,10 @@ type Solution struct {
 	LPIterations int
 	// LPSolves counts node LP relaxations solved (warm plus cold).
 	LPSolves int
+	// WarmLPSolves counts the subset of LPSolves served by a dual-simplex
+	// warm start from the parent basis (the rest solved cold two-phase);
+	// the warm share is what LP warm starting buys.
+	WarmLPSolves int
 	// WastedLPSolves counts speculative child LP solves the parallel
 	// search discarded because their parent node was pruned mid-round by
 	// a sibling's incumbent. Always zero for Workers == 1; the ratio
@@ -185,6 +220,16 @@ type Solution struct {
 	WastedLPSolves int
 	// Elapsed is the solver wall-clock time.
 	Elapsed time.Duration
+	// LPKernel names the simplex kernel that solved the relaxations
+	// ("dense" or "sparse"), after resolving "auto" through the process
+	// default and environment. Empty for solutions produced by daemons
+	// predating this field.
+	LPKernel string
+	// Worker is the endpoint of the remote worker that produced this
+	// solution when it was dispatched through a remote SolverPool; ""
+	// for in-process solves. Stamped by the coordinator-side dispatcher,
+	// not transmitted over the wire.
+	Worker string
 }
 
 // Solve computes a minimum-cost allocation for the problem's Target using
@@ -205,16 +250,22 @@ func SolveContext(ctx context.Context, p *Problem, opts *SolveOptions) (Solution
 	}
 	m := core.NewCostModel(p)
 	var iopts solve.ILPOptions
+	kernel := lp.KernelAuto
 	if opts != nil {
 		iopts.TimeLimit = opts.TimeLimit
 		iopts.WarmStart = opts.WarmStart
 		iopts.Workers = opts.Workers
 		iopts.DisableLPWarmStart = opts.DisableLPWarmStart
-		kernel, err := lp.ParseKernel(opts.LPKernel)
+		var err error
+		kernel, err = lp.ParseKernel(opts.LPKernel)
 		if err != nil {
 			return Solution{}, fmt.Errorf("rentmin: %w", err)
 		}
 		iopts.LPKernel = kernel
+		iopts.OnIncumbent = opts.OnIncumbent
+		if cb := opts.OnRound; cb != nil {
+			iopts.OnRound = func(ri milp.RoundInfo) { cb(RoundInfo(ri)) }
+		}
 	}
 	res, err := solve.ILPContext(ctx, m, p.Target, &iopts)
 	if err != nil {
@@ -236,8 +287,10 @@ func SolveContext(ctx context.Context, p *Problem, opts *SolveOptions) (Solution
 		Nodes:          res.Nodes,
 		LPIterations:   res.LPIterations,
 		LPSolves:       res.WarmLPSolves + res.ColdLPSolves,
+		WarmLPSolves:   res.WarmLPSolves,
 		WastedLPSolves: res.WastedLPSolves,
 		Elapsed:        res.Elapsed,
+		LPKernel:       lp.EffectiveKernel(kernel).String(),
 	}, nil
 }
 
@@ -269,6 +322,12 @@ type SolverPool struct {
 	// stable — removal tombstones in the dispatcher, it never renumbers.
 	remoteMu sync.RWMutex
 	remote   []RemoteWorker
+	// rtt holds a per-worker sliding window of successful dispatch
+	// round-trip times in milliseconds, keyed by worker name so the
+	// history survives eviction + rejoin. Guarded by rttMu; read by
+	// WorkerStats for the /metrics RTT quantiles.
+	rttMu sync.Mutex
+	rtt   map[string]*obs.Window
 }
 
 // NewSolverPool starts a pool that solves up to workers problems
