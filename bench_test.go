@@ -580,6 +580,63 @@ func BenchmarkILPSparseKernel(b *testing.B) {
 	}
 }
 
+// --- Root presolve -----------------------------------------------------------
+
+// BenchmarkILPPresolve runs the same exact solves with the MILP root
+// presolve on and off, on the Fig. 8-scale instance and the large sparse
+// instance. The presolved root substitutes fixed columns, drops redundant
+// capacity rows and tightens the default bounds before branch and bound
+// starts, so simplex-iters/op should only ever drop relative to the off
+// leg (on "large" it removes ~33 rows and columns outright); nodes/op and
+// the incumbent cost must stay comparable — both legs must land on the
+// same cost or the run aborts. Sequential search so both metrics are
+// exactly reproducible; CI gates them per sub-benchmark via
+// BENCH_baseline.json.
+func BenchmarkILPPresolve(b *testing.B) {
+	cases := []struct {
+		name      string
+		m         *core.CostModel
+		target    int
+		nodeLimit int
+	}{
+		{"fig8", fig8Instance(b), 120, 150},
+		{"large", largeSparseInstance(b), 60, 40},
+	}
+	modes := []struct {
+		name    string
+		disable bool
+	}{
+		{"on", false},
+		{"off", true},
+	}
+	for _, c := range cases {
+		cost := int64(-1) // both legs must land on the same incumbent
+		for _, mode := range modes {
+			b.Run(c.name+"/"+mode.name, func(b *testing.B) {
+				iters, nodes := 0, 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := solve.ILP(c.m, c.target, &solve.ILPOptions{
+						Workers: 1, NodeLimit: c.nodeLimit, DisablePresolve: mode.disable,
+					})
+					if err != nil {
+						b.Fatalf("ILP (presolve %s): %v", mode.name, err)
+					}
+					if cost < 0 {
+						cost = res.Alloc.Cost
+					} else if res.Alloc.Cost != cost {
+						b.Fatalf("presolve %s cost %d, other leg found %d", mode.name, res.Alloc.Cost, cost)
+					}
+					iters += res.LPIterations
+					nodes += res.Nodes
+				}
+				b.ReportMetric(float64(iters)/float64(b.N), "simplex-iters/op")
+				b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+			})
+		}
+	}
+}
+
 // --- Component micro-benchmarks ----------------------------------------------
 
 // BenchmarkCostEval measures one shared-type cost evaluation on a

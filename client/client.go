@@ -61,6 +61,9 @@ type Options struct {
 	// DisableLPWarmStart forces cold LP solves inside branch and bound
 	// (Solve only; see SolveRequest.DisableLPWarmStart).
 	DisableLPWarmStart bool
+	// DisablePresolve switches off the root presolve pass for this solve
+	// (Solve only; see SolveRequest.DisablePresolve).
+	DisablePresolve bool
 	// Stats opts into the per-solve flight-recorder block on the
 	// response (Solution.Stats): trace/worker attribution, queue-wait vs
 	// solve-time split, and the search trajectory.
@@ -134,6 +137,7 @@ func (c *Client) Solve(ctx context.Context, p *rentmin.Problem, opts *Options) (
 	if opts != nil {
 		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
 		req.DisableLPWarmStart = opts.DisableLPWarmStart
+		req.DisablePresolve = opts.DisablePresolve
 		req.Stats = opts.Stats
 		if opts.Target > 0 {
 			t := opts.Target
@@ -250,6 +254,7 @@ func (c *Client) SolveRef(ctx context.Context, hash string, target int, opts *Op
 	if opts != nil {
 		req.TimeLimitMs = opts.TimeLimit.Milliseconds()
 		req.DisableLPWarmStart = opts.DisableLPWarmStart
+		req.DisablePresolve = opts.DisablePresolve
 		req.Stats = opts.Stats
 	}
 	var sol Solution

@@ -52,6 +52,11 @@ type SolveRequest struct {
 	// exists for ablation campaigns and numerical diagnosis, and a
 	// coordinator forwards it so remote solves honor it too.
 	DisableLPWarmStart bool `json:"disable_lp_warm_start,omitempty"`
+	// DisablePresolve switches off the root presolve pass (and the CG
+	// rounding cuts it enables) for this solve. Costs are identical
+	// either way; the flag exists for ablation, and a coordinator
+	// forwards it so remote solves honor it too.
+	DisablePresolve bool `json:"disable_presolve,omitempty"`
 	// Stats opts into the solve flight-recorder block on the response
 	// (Solution.Stats): trace/worker attribution, the queue-wait vs
 	// solve-time split, and the search trajectory. Off by default — the
@@ -101,6 +106,13 @@ type Solution struct {
 	LPSolves       int `json:"lp_solves"`
 	WarmLPSolves   int `json:"warm_lp_solves,omitempty"`
 	WastedLPSolves int `json:"wasted_lp_solves"`
+	// Cuts counts root cutting planes (Gomory fractional plus CG
+	// rounding) over CutRounds generation rounds.
+	Cuts      int `json:"cuts,omitempty"`
+	CutRounds int `json:"cut_rounds,omitempty"`
+	// Presolve counts the root presolve reductions; nil when presolve was
+	// disabled or reduced nothing.
+	Presolve *PresolveStats `json:"presolve,omitempty"`
 	// LPKernel names the simplex kernel that solved the relaxations
 	// ("dense" or "sparse"); empty from daemons predating the field.
 	LPKernel string `json:"lp_kernel,omitempty"`
@@ -139,6 +151,11 @@ type SolveStats struct {
 	WarmLPSolves   int    `json:"warm_lp_solves"`
 	ColdLPSolves   int    `json:"cold_lp_solves"`
 	WastedLPSolves int    `json:"wasted_lp_solves"`
+	// Cuts/CutRounds/Presolve describe the root strengthening work:
+	// cutting planes added, generation rounds, and presolve reductions.
+	Cuts      int            `json:"cuts,omitempty"`
+	CutRounds int            `json:"cut_rounds,omitempty"`
+	Presolve  *PresolveStats `json:"presolve,omitempty"`
 	// Incumbents is the incumbent-improvement trajectory and Rounds the
 	// per-round bound trajectory, both present only for in-process
 	// solves (a coordinator cannot observe a remote search's interior).
@@ -148,6 +165,15 @@ type SolveStats struct {
 	TrajectoryTruncated bool             `json:"trajectory_truncated,omitempty"`
 	// Phases are the request's span timings (decode, queue, solve, ...).
 	Phases []PhaseTiming `json:"phases,omitempty"`
+}
+
+// PresolveStats counts the root presolve reductions of one solve (see
+// rentmin.PresolveStats).
+type PresolveStats struct {
+	RowsRemoved     int `json:"rows_removed"`
+	ColsFixed       int `json:"cols_fixed"`
+	BoundsTightened int `json:"bounds_tightened"`
+	CoeffsReduced   int `json:"coeffs_reduced"`
 }
 
 // IncumbentPoint is one incumbent improvement: the search accepted a
@@ -283,6 +309,15 @@ type DebugSolve struct {
 	WarmLPSolves   int    `json:"warm_lp_solves"`
 	WastedLPSolves int    `json:"wasted_lp_solves"`
 	LPKernel       string `json:"lp_kernel,omitempty"`
+
+	// Root-strengthening counters: cutting planes added, cut rounds, and
+	// the presolve reduction counts (flat so the ring stays allocation-light).
+	Cuts           int `json:"cuts,omitempty"`
+	CutRounds      int `json:"cut_rounds,omitempty"`
+	PresolveRows   int `json:"presolve_rows,omitempty"`
+	PresolveCols   int `json:"presolve_cols,omitempty"`
+	PresolveBounds int `json:"presolve_bounds,omitempty"`
+	PresolveCoeffs int `json:"presolve_coeffs,omitempty"`
 
 	// Incumbents/Rounds count trajectory points observed (the points
 	// themselves are served on the solve response when Stats was set).

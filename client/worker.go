@@ -151,6 +151,7 @@ func (w *Worker) Solve(ctx context.Context, p *rentmin.Problem, opts *rentmin.So
 	if opts != nil {
 		copts.TimeLimit = opts.TimeLimit
 		copts.DisableLPWarmStart = opts.DisableLPWarmStart
+		copts.DisablePresolve = opts.DisablePresolve
 		// opts.Workers is deliberately not forwarded: the worker daemon's
 		// own -per-solve-workers decides its inner parallelism.
 	}
@@ -264,7 +265,7 @@ func (s *Solution) ToSolution() (rentmin.Solution, error) {
 	if s.Error != "" {
 		return rentmin.Solution{}, fmt.Errorf("rentmind: %s", s.Error)
 	}
-	return rentmin.Solution{
+	out := rentmin.Solution{
 		Alloc:          s.Allocation,
 		Proven:         s.Proven,
 		Bound:          s.Bound,
@@ -273,9 +274,15 @@ func (s *Solution) ToSolution() (rentmin.Solution, error) {
 		LPSolves:       s.LPSolves,
 		WarmLPSolves:   s.WarmLPSolves,
 		WastedLPSolves: s.WastedLPSolves,
+		Cuts:           s.Cuts,
+		CutRounds:      s.CutRounds,
 		Elapsed:        time.Duration(s.ElapsedMs * float64(time.Millisecond)),
 		LPKernel:       s.LPKernel,
-	}, nil
+	}
+	if s.Presolve != nil {
+		out.Presolve = rentmin.PresolveStats(*s.Presolve)
+	}
+	return out, nil
 }
 
 // FleetConfig tunes NewFleet and NewElasticFleet.

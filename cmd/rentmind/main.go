@@ -10,7 +10,7 @@
 //	         [-max-target 1000000] [-max-batch 64] [-max-body 16777216]
 //	         [-default-time-limit 10s] [-max-time-limit 60s]
 //	         [-shutdown-grace 30s] [-problem-cache 256] [-lp-kernel dense|sparse]
-//	         [-debug-solves 64] [-pprof]
+//	         [-presolve=false] [-debug-solves 64] [-pprof]
 //	         [-coordinator] [-workers-endpoints http://w1:8080,http://w2:8080]
 //	         [-workers-wait 15s] [-evict-strikes 3] [-health-interval 5s]
 //	         [-register http://coord:8080 -advertise http://me:8080
@@ -127,6 +127,7 @@ func main() {
 	advertise := flag.String("advertise", "", "this worker's own base URL as the coordinator should dial it (required with -register)")
 	registerInterval := flag.Duration("register-interval", 15*time.Second, "how often to re-announce to the -register coordinator (re-registration is idempotent and revives an evicted worker)")
 	lpKernel := flag.String("lp-kernel", "auto", "simplex pivot kernel for every solve in this process: auto, dense, sparse (auto = RENTMIN_LP_KERNEL or dense)")
+	presolve := flag.Bool("presolve", true, "MILP root presolve + extra cutting planes for every solve (false = plain branch and bound; requests can also opt out per solve)")
 	debugSolves := flag.Int("debug-solves", 64, "solve flight-recorder entries served by GET /debug/solves")
 	pprofFlag := flag.Bool("pprof", false, "mount the net/http/pprof profiling handlers under /debug/pprof/ (unauthenticated: keep it off the open internet)")
 	flag.Parse()
@@ -152,6 +153,7 @@ func main() {
 		ProblemCacheSize: *problemCache,
 		DebugSolves:      *debugSolves,
 		Pprof:            *pprofFlag,
+		DisablePresolve:  !*presolve,
 	}
 	if *register != "" && *advertise == "" {
 		fatal("-register needs -advertise (the base URL the coordinator dials this worker at)")

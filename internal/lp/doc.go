@@ -107,10 +107,38 @@
 // counted in Solution.Iterations so warm-vs-cold comparisons stay
 // honest.
 //
+// # Gomory cuts over bounded variables
+//
 // SolveGomory layers fractional cutting planes on top of Solve for pure
-// integer programs with integral data and default bounds; the milp
-// package applies it at the root of the branch-and-bound tree. Cut
-// extraction reads dense tableau rows, so the cut loop always runs on
-// the dense kernel, re-solving the growing problem through one reusable
-// allocation arena across rounds.
+// integer programs with integral data; the milp package applies it at
+// the root of the branch-and-bound tree. Cut extraction reads dense
+// tableau rows, so the cut loop always runs on the dense kernel,
+// re-solving the growing problem through one reusable allocation arena
+// across rounds.
+//
+// The textbook Gomory fractional cut is derived for variables with
+// bounds [0, +inf): a tableau row x_B + sum_j a_j x_j = b with
+// fractional b yields the valid cut sum_j frac(a_j) x_j >= frac(b),
+// because every nonbasic x_j sits at 0 and can only increase. With
+// general bounds that premise breaks twice — a nonbasic variable may
+// rest at a nonzero lower bound, or at its UPPER bound, from which it
+// can only decrease. The solver handles both by deriving the cut in the
+// same shifted/complemented coordinates the dense tableau pivots in:
+//
+//   - Shifting: y_j = x_j - lo_j maps every lower bound to 0. frac(b)
+//     is taken on the shifted RHS, and the cut's constant term absorbs
+//     sum_j frac(a_j)·lo_j when translated back to x coordinates.
+//   - Complementing: a nonbasic variable resting at capacity
+//     cap_j = hi_j - lo_j is replaced by its reflection
+//     y'_j = cap_j - y_j, which does sit at 0 and can only increase.
+//     In the tableau this negates the column; in the cut it flips the
+//     coefficient's sign and moves frac(a_j)·cap_j into the constant.
+//
+// After both transformations every nonbasic variable is at 0 with room
+// only upward, the classic derivation applies verbatim, and the cut is
+// translated back to original x coordinates before being appended as a
+// constraint row. Validity requires every finite bound to be integral
+// (within 1e-9) so the shifted problem keeps integral data; when any
+// bound is fractional or the data is non-integral, SolveGomory degrades
+// to a cut-free Solve rather than risk cutting off integer points.
 package lp

@@ -12,17 +12,27 @@ import (
 // every integer-feasible point, so a fractional basic row of the optimal
 // simplex tableau
 //
-//	x_B(i) + Σ_{j nonbasic} ā_ij·x_j = b̄_i,   b̄_i fractional,
+//	y_B(i) + Σ_{j nonbasic} ā_ij·y_j = b̄_i,   b̄_i fractional,
 //
-// yields the valid Gomory cut Σ_j frac(ā_ij)·x_j >= frac(b̄_i). The cut's
-// own slack is again integral, so cut generation can be iterated. Cuts are
-// translated back to structural-variable space by substituting the
-// definitions of the slack variables, which lets callers append them as
-// ordinary constraints.
+// yields the valid Gomory cut Σ_j frac(ā_ij)·y_j >= frac(b̄_i). The cut's
+// own slack is again integral, so cut generation can be iterated.
+//
+// The bounded-variable scheme: the tableau works in shifted coordinates
+// y_j = x_j - lo_j, and a nonbasic variable resting at its upper bound is
+// complemented to y″_j = hi_j - x_j — either way every nonbasic variable
+// sits at zero, which is exactly what the cut derivation needs. When the
+// bounds lo/hi are themselves integral, y″_j is integral at every integer
+// point, so the classic argument goes through unchanged over the current
+// nonbasic coordinates. Cuts are translated back to structural-variable
+// space by substituting y″_j = x_j - lo_j (or hi_j - x_j for a
+// complemented column) and the defining identity of each slack/surplus
+// variable, which lets callers append them as ordinary constraints.
 //
 // This is the classic device that lifts the weak fractional-machine bound
 // of the rental problem toward the integer optimum (see DESIGN.md §5); the
-// milp package applies it at the root of the branch-and-bound tree.
+// milp package applies it at the root of the branch-and-bound tree — and,
+// since presolve tightens bounds away from the default [0, +inf) box, the
+// bounded scheme is what keeps cut generation alive after a presolve pass.
 
 // GomoryResult is the outcome of SolveGomory.
 type GomoryResult struct {
@@ -47,13 +57,29 @@ type GomoryResult struct {
 //
 // Validity requires that the problem is a pure integer program with
 // integral constraint data; the caller is responsible for that contract.
-// Cut generation additionally requires the default variable bounds
-// [0, +inf): the tableau-row derivation assumes every nonbasic variable
-// sits at zero, which a finite upper bound (complemented column) or a
-// shifted lower bound breaks. A problem with non-default bounds is solved
+// Cut generation additionally requires integral variable bounds: the
+// shifted (and possibly complemented) nonbasic coordinates the tableau
+// rows are written in are integral at integer points only when every
+// finite bound is an integer. A problem with a fractional bound is solved
 // normally but no cuts are generated.
 func SolveGomory(p *Problem, opts *Options, maxRounds int) (GomoryResult, error) {
 	return solveGomoryArena(p, opts, maxRounds, &arena{})
+}
+
+// integralBounds reports whether every finite variable bound of p is an
+// integer — the precondition for the bounded-variable Gomory derivation.
+func integralBounds(p *Problem) bool {
+	const tol = 1e-9
+	for j := 0; j < p.NumVars(); j++ {
+		lo := p.LowerBound(j)
+		if math.IsInf(lo, 0) || math.Abs(lo-math.Round(lo)) > tol {
+			return false
+		}
+		if hi := p.UpperBound(j); !math.IsInf(hi, 1) && math.Abs(hi-math.Round(hi)) > tol {
+			return false
+		}
+	}
+	return true
 }
 
 // solveGomoryArena is SolveGomory over a caller-visible arena (tests
@@ -63,7 +89,7 @@ func SolveGomory(p *Problem, opts *Options, maxRounds int) (GomoryResult, error)
 // not materialize.
 func solveGomoryArena(p *Problem, opts *Options, maxRounds int, ar *arena) (GomoryResult, error) {
 	work := p.Clone()
-	if !work.DefaultBounds() {
+	if !integralBounds(work) {
 		maxRounds = 0
 	}
 	res := GomoryResult{}
@@ -124,41 +150,32 @@ func solveGomoryArena(p *Problem, opts *Options, maxRounds int, ar *arena) (Gomo
 // gomoryCuts extracts fractional cuts from the current optimal tableau and
 // rewrites them over structural variables. work must be the problem this
 // tableau was built from.
+//
+// The tableau row i reads, over the current nonbasic coordinates y″_j
+// (shifted to the lower bound, complemented when resting at the upper),
+//
+//	y″_B(i) + Σ_{j nonbasic} ā_ij·y″_j = b̄_i,
+//
+// and every y″_j as well as every slack/surplus value is integral at
+// integer-feasible points (integral data + integral bounds), so
+// Σ frac(ā_ij)·y″_j >= frac(b̄_i) is valid. The translation back to x
+// substitutes, per column kind,
+//
+//	structural, not complemented:  y″_j = x_j - lo_j
+//	structural, complemented:      y″_j = hi_j - x_j
+//	slack of row r:                s = σ_r·(b_r - A_r·x)
+//	surplus of row r:              s = σ_r·(A_r·x - b_r)
+//
+// where σ_r = -1 when newTableau normalized row r by flipping its sign
+// (rowFlip) and +1 otherwise. Artificial columns are zero at every
+// feasible point and are dropped.
 func (t *tableau) gomoryCuts(work *Problem, frTol float64) []Constraint {
-	// Reconstruct the slack bookkeeping of newTableau: normalized rows in
-	// build order and the mapping slack column -> (row, kind).
-	type slackDef struct {
-		row  int
-		sign float64 // +1: s = b - A·x (LE);  -1: s = A·x - b (GE surplus)
-	}
-	slackOf := make(map[int]slackDef)
-	col := t.n
-	for i, c := range work.Constraints {
-		rel, rhs := c.Rel, c.RHS
-		if rhs < 0 {
-			rel = flip(rel)
+	// Map each slack/surplus column back to its constraint row.
+	rowOf := make(map[int]int, t.m)
+	for i := 0; i < t.m; i++ {
+		if t.rowAux[i] < t.artStart {
+			rowOf[t.rowAux[i]] = i
 		}
-		switch rel {
-		case LE:
-			slackOf[col] = slackDef{row: i, sign: +1}
-			col++
-		case GE:
-			slackOf[col] = slackDef{row: i, sign: -1}
-			col++
-		}
-	}
-
-	// normRow returns the normalized (RHS >= 0) row i as (coeffs, rhs).
-	normRow := func(i int) ([]float64, float64) {
-		c := work.Constraints[i]
-		if c.RHS >= 0 {
-			return c.Coeffs, c.RHS
-		}
-		neg := make([]float64, len(c.Coeffs))
-		for j, v := range c.Coeffs {
-			neg[j] = -v
-		}
-		return neg, -c.RHS
 	}
 
 	frac := func(v float64) float64 {
@@ -185,10 +202,6 @@ func (t *tableau) gomoryCuts(work *Problem, frTol float64) []Constraint {
 		if f0 == 0 {
 			continue
 		}
-		// Cut in tableau space: Σ_{j nonbasic} frac(ā_ij)·x_j >= f0.
-		// Translate to structural space: structural columns contribute
-		// directly; slack columns are substituted by their definition;
-		// artificial columns are identically zero and dropped.
 		coeffs := make([]float64, t.n)
 		rhs := f0
 		basic := make(map[int]bool, t.m)
@@ -204,26 +217,43 @@ func (t *tableau) gomoryCuts(work *Problem, frTol float64) []Constraint {
 				continue
 			}
 			if j < t.n {
-				coeffs[j] += fj
+				// Structural column: fj·y″_j with y″_j = x_j - lo_j, or
+				// hi_j - x_j when the column is complemented.
+				lo := 0.0
+				if t.shift != nil {
+					lo = t.shift[j]
+				}
+				if t.flipped[j] {
+					hi := lo + t.cap[j]
+					coeffs[j] -= fj
+					rhs -= fj * hi
+				} else {
+					coeffs[j] += fj
+					rhs += fj * lo
+				}
 				continue
 			}
-			def, ok := slackOf[j]
+			r, ok := rowOf[j]
 			if !ok {
 				continue
 			}
-			rowCoeffs, rowRHS := normRow(def.row)
-			if def.sign > 0 {
-				// s = rhs - A·x  =>  fj·s = fj·rhs - fj·A·x.
-				for k, v := range rowCoeffs {
-					coeffs[k] -= fj * v
+			sign := 1.0
+			if t.rowFlip[r] {
+				sign = -1
+			}
+			c := work.Constraints[r]
+			if !t.rowAuxNeg[r] {
+				// Slack: s = σ·(b - A·x)  =>  fj·s = fj·σ·b - fj·σ·A·x.
+				for k, v := range c.Coeffs {
+					coeffs[k] -= fj * sign * v
 				}
-				rhs -= fj * rowRHS
+				rhs -= fj * sign * c.RHS
 			} else {
-				// s = A·x - rhs.
-				for k, v := range rowCoeffs {
-					coeffs[k] += fj * v
+				// Surplus: s = σ·(A·x - b).
+				for k, v := range c.Coeffs {
+					coeffs[k] += fj * sign * v
 				}
-				rhs += fj * rowRHS
+				rhs += fj * sign * c.RHS
 			}
 		}
 		// Drop numerically empty cuts.

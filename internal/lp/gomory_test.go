@@ -238,3 +238,218 @@ func TestSolveGomoryArenaReuse(t *testing.T) {
 		t.Errorf("arena grew %d times after the first round; reserve undersized", ar.lateGrows)
 	}
 }
+
+// --- bounded-variable Gomory regression suite --------------------------------
+//
+// These instances all carry finite variable bounds, which the old
+// default-bounds guard rejected outright (maxRounds forced to 0, no cuts).
+// The bounded scheme derives cuts in the shifted/complemented coordinates,
+// so each must now produce cuts that tighten the bound without ever
+// cutting an integer point of the box.
+
+// boxKnapsackLP: max 8x+11y (min -8x-11y) s.t. 5x+7y <= 35 with
+// x,y in [0,3]. LP optimum ~-55.43 at (2.8,3); integer optimum -49 at (2,3).
+func boxKnapsackLP() *Problem {
+	return &Problem{
+		Objective: []float64{-8, -11},
+		Hi:        []float64{3, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{5, 7}, Rel: LE, RHS: 35},
+		},
+	}
+}
+
+func TestSolveGomoryBoundedVariables(t *testing.T) {
+	p := boxKnapsackLP()
+	plain, err := Solve(p, nil)
+	if err != nil || plain.Status != Optimal {
+		t.Fatalf("plain solve: %v %v", err, plain.Status)
+	}
+	res, err := SolveGomory(p, nil, 10)
+	if err != nil {
+		t.Fatalf("SolveGomory: %v", err)
+	}
+	if res.Solution.Status != Optimal {
+		t.Fatalf("status = %v", res.Solution.Status)
+	}
+	if len(res.Cuts) == 0 {
+		t.Fatal("no cuts on a fractional bounded-variable LP (old guard regression)")
+	}
+	if res.Solution.Objective < plain.Objective-1e-9 {
+		t.Errorf("cut bound %g below LP bound %g", res.Solution.Objective, plain.Objective)
+	}
+	if res.Solution.Objective > -49+1e-6 {
+		t.Errorf("cut bound %g exceeds integer optimum -49", res.Solution.Objective)
+	}
+	if res.Solution.Objective <= plain.Objective+1e-9 {
+		t.Errorf("cuts did not improve the bound (%g vs %g)", res.Solution.Objective, plain.Objective)
+	}
+}
+
+// Every cut must keep every integer point of the box.
+func TestGomoryBoundedCutsValidForIntegerPoints(t *testing.T) {
+	p := boxKnapsackLP()
+	res, err := SolveGomory(p, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x <= 3; x++ {
+		for y := 0; y <= 3; y++ {
+			if 5*x+7*y > 35 {
+				continue
+			}
+			for ci, cut := range res.Cuts {
+				dot := cut.Coeffs[0]*float64(x) + cut.Coeffs[1]*float64(y)
+				if dot < cut.RHS-1e-6 {
+					t.Errorf("cut %d eliminates integer point (%d,%d): %g < %g",
+						ci, x, y, dot, cut.RHS)
+				}
+			}
+		}
+	}
+}
+
+// Shifted lower bounds: the same knapsack translated to x,y in [1,4]
+// exercises the lo-shift path of the cut translation.
+func TestGomoryShiftedLowerBounds(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{-8, -11},
+		Lo:        []float64{1, 1},
+		Hi:        []float64{4, 4},
+		Constraints: []Constraint{
+			{Coeffs: []float64{5, 7}, Rel: LE, RHS: 47}, // 35 shifted by 5+7
+		},
+	}
+	res, err := SolveGomory(p, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Status != Optimal {
+		t.Fatalf("status = %v", res.Solution.Status)
+	}
+	// Integer optimum: (x,y) = (3,4) -> 5*3+7*4 = 43 <= 47, value -68.
+	best := math.Inf(1)
+	for x := 1; x <= 4; x++ {
+		for y := 1; y <= 4; y++ {
+			if 5*x+7*y > 47 {
+				continue
+			}
+			if v := float64(-8*x - 11*y); v < best {
+				best = v
+			}
+			for ci, cut := range res.Cuts {
+				dot := cut.Coeffs[0]*float64(x) + cut.Coeffs[1]*float64(y)
+				if dot < cut.RHS-1e-6 {
+					t.Errorf("cut %d eliminates integer point (%d,%d): %g < %g",
+						ci, x, y, dot, cut.RHS)
+				}
+			}
+		}
+	}
+	if res.Solution.Objective > best+1e-6 {
+		t.Errorf("cut bound %g exceeds integer optimum %g", res.Solution.Objective, best)
+	}
+}
+
+// Fractional bounds still bail: the rounding argument needs integral
+// bounds, so such problems must pass through cut-free rather than emit
+// invalid cuts.
+func TestSolveGomoryFractionalBoundsNoCuts(t *testing.T) {
+	p := boxKnapsackLP()
+	p.Hi = []float64{2.5, 3}
+	res, err := SolveGomory(p, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cuts) != 0 {
+		t.Errorf("generated %d cuts over fractional bounds", len(res.Cuts))
+	}
+	if res.Solution.Status != Optimal {
+		t.Errorf("status = %v, want optimal passthrough", res.Solution.Status)
+	}
+}
+
+// Property: on random box-bounded knapsacks the cut-augmented bound stays
+// sandwiched between the LP bound and the brute-force integer optimum,
+// and every cut keeps every integer point of the box.
+func TestQuickGomoryBoundedSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(2)
+		p := &Problem{
+			Objective: make([]float64, n),
+			Hi:        make([]float64, n),
+		}
+		box := make([]int, n)
+		for j := 0; j < n; j++ {
+			p.Objective[j] = -float64(1 + r.Intn(12))
+			box[j] = 1 + r.Intn(4)
+			p.Hi[j] = float64(box[j])
+		}
+		row := make([]float64, n)
+		sum := 0
+		for j := range row {
+			v := 1 + r.Intn(6)
+			row[j] = float64(v)
+			sum += v * box[j]
+		}
+		p.Constraints = []Constraint{
+			{Coeffs: row, Rel: LE, RHS: float64(1 + r.Intn(sum+1))},
+		}
+		lpSol, err := Solve(p, nil)
+		if err != nil || lpSol.Status != Optimal {
+			return true // skip degenerate draws
+		}
+		res, err := SolveGomory(p, nil, 8)
+		if err != nil || res.Solution.Status != Optimal {
+			return false
+		}
+		best := math.Inf(1)
+		x := make([]float64, n)
+		var rec func(int) bool
+		rec = func(i int) bool {
+			if i == n {
+				dot := 0.0
+				for j := 0; j < n; j++ {
+					dot += row[j] * x[j]
+				}
+				if dot > p.Constraints[0].RHS+1e-9 {
+					return true
+				}
+				obj := 0.0
+				for j := 0; j < n; j++ {
+					obj += p.Objective[j] * x[j]
+				}
+				if obj < best {
+					best = obj
+				}
+				for _, cut := range res.Cuts {
+					cdot := 0.0
+					for j := 0; j < n; j++ {
+						cdot += cut.Coeffs[j] * x[j]
+					}
+					if cdot < cut.RHS-1e-6 {
+						return false // cut eliminated an integer point
+					}
+				}
+				return true
+			}
+			for v := 0; v <= box[i]; v++ {
+				x[i] = float64(v)
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			x[i] = 0
+			return true
+		}
+		if !rec(0) {
+			return false
+		}
+		return res.Solution.Objective >= lpSol.Objective-1e-6 &&
+			res.Solution.Objective <= best+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package milp
+
+import (
+	"math"
+	"sort"
+
+	"rentmin/internal/lp"
+)
+
+// Chvátal–Gomory rounding cuts over the integer rows of the problem — the
+// cover/knapsack-style family for the recipe model's rental-count rows.
+//
+// For a row Σ a_j x_j >= b whose every participating variable is integer
+// with a finite lower bound, shifting y_j = x_j - lo_j >= 0 gives
+// Σ a_j y_j >= b - Σ a_j lo_j =: b″. For any multiplier t > 0,
+// ceil(t·a_j) >= t·a_j on y >= 0, so Σ ceil(t·a_j)·y_j >= t·b″; the left
+// side is an integer at integer points, so it can be rounded up to
+// ceil(t·b″). Back-substituting x_j recovers an ordinary constraint:
+//
+//	Σ ceil(t·a_j)·x_j >= ceil(t·b″) + Σ ceil(t·a_j)·lo_j.
+//
+// On a GE coverage row r_q·ρ_j >= n_jq·x_q (machines bought must cover the
+// throughput rented) the multiplier t = 1/r_q yields the integer-rounded
+// machine-count bound ρ_j >= ceil(n_jq·x_q / r_q) per unit — exactly the
+// knapsack-cover strengthening of the rental-count rows. LE rows are
+// negated into the GE view first; the separator keeps only cuts violated
+// by the current root LP point, so the LP never grows with redundant rows.
+const (
+	cgViolTol = 1e-6 // minimum violation at the separation point
+	cgMaxCuts = 10   // per-call cap, mirroring Gomory's cutsPerRound
+)
+
+// cgCuts separates Chvátal–Gomory rounding cuts from the rows of p plus
+// the caller-supplied extra rows (e.g. an objective cutoff row), violated
+// at the point x. Ordering is deterministic: rows are scanned in index
+// order, multipliers in sorted order, and the strongest (most violated)
+// cuts win the cap.
+func cgCuts(p *Problem, extra []lp.Constraint, x []float64) []lp.Constraint {
+	n := p.LP.NumVars()
+	lo := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo[j] = p.LP.LowerBound(j)
+	}
+	type scored struct {
+		cut  lp.Constraint
+		viol float64
+		ord  int
+	}
+	var cand []scored
+	ord := 0
+	tryRow := func(coeffs []float64, rhs float64) {
+		// GE view: Σ coeffs·x >= rhs. Every participating variable must be
+		// integer with a finite lower bound (lower bounds are always finite
+		// for a valid problem; checked anyway for safety).
+		nz := 0
+		for j, v := range coeffs {
+			if v == 0 {
+				continue
+			}
+			if !p.Integer[j] || math.IsInf(lo[j], 0) {
+				return
+			}
+			nz++
+		}
+		if nz < 2 {
+			return // a single-variable row is just a bound
+		}
+		shifted := rhs
+		for j, v := range coeffs {
+			shifted -= v * lo[j]
+		}
+		// Candidate multipliers: one per distinct coefficient magnitude.
+		seen := map[float64]bool{}
+		var ts []float64
+		for _, v := range coeffs {
+			if v == 0 {
+				continue
+			}
+			m := math.Abs(v)
+			if !seen[m] {
+				seen[m] = true
+				ts = append(ts, 1/m)
+			}
+		}
+		sort.Float64s(ts)
+		for _, t := range ts {
+			cut := make([]float64, n)
+			crhs := math.Ceil(t*shifted - 1e-9)
+			lhs := 0.0
+			for j, v := range coeffs {
+				if v == 0 {
+					continue
+				}
+				c := math.Ceil(t*v - 1e-9)
+				cut[j] = c
+				crhs += c * lo[j]
+				lhs += c * x[j]
+			}
+			if viol := crhs - lhs; viol > cgViolTol {
+				cand = append(cand, scored{
+					cut:  lp.Constraint{Coeffs: cut, Rel: lp.GE, RHS: crhs},
+					viol: viol,
+					ord:  ord,
+				})
+				ord++
+			}
+		}
+	}
+	rows := make([]lp.Constraint, 0, len(p.LP.Constraints)+len(extra))
+	rows = append(rows, p.LP.Constraints...)
+	rows = append(rows, extra...)
+	for _, c := range rows {
+		switch c.Rel {
+		case lp.GE:
+			tryRow(c.Coeffs, c.RHS)
+		case lp.LE:
+			neg := make([]float64, len(c.Coeffs))
+			for j, v := range c.Coeffs {
+				neg[j] = -v
+			}
+			tryRow(neg, -c.RHS)
+		}
+		// EQ rows are skipped: each side alone is weaker than the equation
+		// the LP already enforces exactly.
+	}
+	sort.SliceStable(cand, func(i, j int) bool {
+		if cand[i].viol != cand[j].viol {
+			return cand[i].viol > cand[j].viol
+		}
+		return cand[i].ord < cand[j].ord
+	})
+	if len(cand) > cgMaxCuts {
+		cand = cand[:cgMaxCuts]
+	}
+	cuts := make([]lp.Constraint, len(cand))
+	for i, c := range cand {
+		cuts[i] = c.cut
+	}
+	return cuts
+}

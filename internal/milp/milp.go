@@ -131,6 +131,16 @@ type Options struct {
 	// with integral constraint data (see lp.SolveGomory); the caller is
 	// responsible for that contract. Zero disables cuts.
 	RootCutRounds int
+	// Presolve runs the root reduction pass (bound tightening, fixing,
+	// row/column elimination, coefficient reduction — see presolve.go)
+	// before branch and bound, searching the reduced problem and lifting
+	// the optimum back through the postsolve map. When an Incumbent is
+	// supplied, its objective feeds presolve as a cutoff, which is what
+	// gives the recipe model's default-bound formulation finite bounds to
+	// propagate. Combined with RootCutRounds it also enables a round of
+	// Chvátal–Gomory rounding cuts on the reduced rows (see cuts.go). The
+	// reported optimum is identical with and without presolve.
+	Presolve bool
 	// StrongBranch evaluates both children of up to this many fractional
 	// candidates at every node and branches on the variable whose worse
 	// child has the highest bound. Zero disables strong branching
@@ -200,8 +210,14 @@ type Result struct {
 	Objective float64   // incumbent objective
 	Bound     float64   // proven lower bound on the optimum
 	Nodes     int       // explored branch-and-bound nodes
-	Cuts      int       // Gomory cuts added at the root
+	Cuts      int       // cutting planes added at the root (Gomory + CG rounding)
+	CutRounds int       // root cut-generation rounds performed
 	Elapsed   time.Duration
+	// Presolve counts the root reductions applied (all zero when
+	// Options.Presolve is off). Like Cuts and CutRounds it is computed on
+	// the coordinator before the parallel search starts, so it is
+	// identical for every worker count.
+	Presolve PresolveStats
 	// Gap is (Objective-Bound)/max(1,|Objective|); zero when optimal.
 	Gap float64
 	// LPIterations is the total number of simplex pivots across every
@@ -285,11 +301,17 @@ func SolveContext(ctx context.Context, p *Problem, opts *Options) (Result, error
 
 type solver struct {
 	p     *Problem
-	base  *lp.Problem // original LP plus root cuts
+	work  *Problem    // problem the tree searches: p, or its presolve reduction
+	red   *Reduced    // postsolve map (nil when presolve is off or reduced nothing)
+	base  *lp.Problem // work's LP plus root cuts
 	ctx   context.Context
 	opts  *Options
 	start time.Time
 	tol   float64
+	// objOff is the objective contribution of presolve-fixed variables;
+	// node bounds are kept in original-objective units by adding it to
+	// every reduced-space LP objective.
+	objOff float64
 
 	// The incumbent is written only by the coordinator (during merge, so
 	// updates are deterministic); bestBits mirrors bestObj as atomic
@@ -309,10 +331,12 @@ type solver struct {
 	warmLP  atomic.Int64
 	coldLP  atomic.Int64
 
-	nodes  int
-	cuts   int
-	seq    int
-	wasted int // speculative child LP solves of mid-round-pruned nodes
+	nodes     int
+	cuts      int
+	cutRounds int
+	presolve  PresolveStats
+	seq       int
+	wasted    int // speculative child LP solves of mid-round-pruned nodes
 }
 
 var errLimit = errors.New("milp: limit reached")
@@ -320,7 +344,7 @@ var errLimit = errors.New("milp: limit reached")
 func (s *solver) run() (Result, error) {
 	s.bestObj = math.Inf(1)
 	s.bestBits.Store(math.Float64bits(s.bestObj))
-	s.base = &s.p.LP
+	s.work = s.p
 
 	if inc := s.optIncumbent(); inc != nil {
 		obj, err := s.checkFeasible(inc)
@@ -337,6 +361,13 @@ func (s *solver) run() (Result, error) {
 	if s.cancelled() {
 		return s.limitResult(math.Inf(-1)), nil
 	}
+
+	if s.opts != nil && s.opts.Presolve {
+		if res, done := s.runPresolve(); done {
+			return res, nil
+		}
+	}
+	s.base = &s.work.LP
 
 	root := &node{prob: s.base}
 	var st lp.Status
@@ -434,6 +465,53 @@ func (s *solver) run() (Result, error) {
 	return res, nil
 }
 
+// runPresolve runs the root reduction pass and installs the reduced
+// problem as the search target. It returns (result, true) when presolve
+// finishes the solve outright: proven infeasibility, a cutoff-infeasible
+// reduction (nothing beats the incumbent, which proves it optimal), or a
+// fully fixed problem whose single candidate point settles the answer.
+func (s *solver) runPresolve() (Result, bool) {
+	cutoff := math.Inf(1)
+	if s.hasBest {
+		cutoff = s.bestObj
+	}
+	red := presolveWith(s.p, cutoff, s.tol)
+	s.presolve = red.Stats
+	if red.Infeasible {
+		if s.hasBest {
+			// The incumbent satisfies every constraint and the (non-strict)
+			// cutoff, so infeasibility here proves no point improves on it.
+			res := s.result(Optimal)
+			res.Bound = res.Objective
+			res.Gap = 0
+			return res, true
+		}
+		return s.result(Infeasible), true
+	}
+	if red.P.LP.NumVars() == 0 {
+		// Every variable was fixed: the reduction leaves exactly one
+		// candidate point.
+		x := red.Postsolve(nil)
+		if obj, err := s.checkFeasible(x); err == nil && obj < s.bestObj-1e-9 {
+			s.accept(x, obj)
+		}
+		if s.hasBest {
+			res := s.result(Optimal)
+			res.Bound = res.Objective
+			res.Gap = 0
+			return res, true
+		}
+		return s.result(Infeasible), true
+	}
+	if red.Stats.empty() {
+		return Result{}, false // nothing reduced: search the original
+	}
+	s.red = red
+	s.work = red.P
+	s.objOff = red.ObjOffset
+	return Result{}, false
+}
+
 // buildChild creates and solves one child of n with the extra bound
 // lo <= x_j <= hi merged in. The child's LP is the parent's with the one
 // variable bound tightened in place (objective and constraint rows are
@@ -523,7 +601,7 @@ func (s *solver) fractionalCandidates(x []float64, k int) []int {
 		dist float64
 	}
 	var list []fv
-	for j, isInt := range s.p.Integer {
+	for j, isInt := range s.work.Integer {
 		if !isInt {
 			continue
 		}
@@ -571,30 +649,69 @@ func (s *solver) pruned(bound float64) bool {
 	return bound >= s.bestObj-1e-9
 }
 
-// solveRootWithCuts strengthens the root relaxation with Gomory rounds;
-// the generated cuts are valid globally and shared by every node.
+// solveRootWithCuts strengthens the root relaxation with Gomory rounds
+// (plus, under presolve, one round of Chvátal–Gomory rounding cuts); the
+// generated cuts are valid globally and shared by every node.
 func (s *solver) solveRootWithCuts(root *node) (lp.Status, error) {
 	var lpOpts *lp.Options
 	if s.opts != nil {
 		lpOpts = s.opts.LP
 	}
-	gr, err := lp.SolveGomory(&s.p.LP, lpOpts, s.opts.RootCutRounds)
+	gr, err := lp.SolveGomory(&s.work.LP, lpOpts, s.opts.RootCutRounds)
 	if err != nil {
 		return 0, err
 	}
 	if len(gr.Cuts) > 0 {
-		base := s.p.LP.Clone()
+		base := s.work.LP.Clone()
 		base.Constraints = append(base.Constraints, gr.Cuts...)
 		s.base = base
 		s.cuts = len(gr.Cuts)
 	}
+	s.cutRounds = gr.Rounds
 	// The Gomory solution (and its basis) belongs to the cut-augmented
 	// problem, which is exactly the node's LP from here on.
 	root.prob = s.base
 	root.relax = gr.Solution
-	root.bound = gr.Solution.Objective
+	root.bound = gr.Solution.Objective + s.objOff
 	s.countLP(gr.Solution)
-	return gr.Solution.Status, nil
+	if s.opts.Presolve && gr.Solution.Status == lp.Optimal {
+		s.addCGCuts(root, lpOpts)
+	}
+	return root.relax.Status, nil
+}
+
+// addCGCuts runs one Chvátal–Gomory rounding round on the root: separate
+// cuts violated at the current root point (over the problem rows plus,
+// when an incumbent exists, the objective-cutoff row) and re-solve. The
+// augmented relaxation replaces the root only when it solves to
+// optimality; anything else discards the CG cuts and keeps the Gomory
+// root untouched — a cut round must never make the solve worse.
+func (s *solver) addCGCuts(root *node, lpOpts *lp.Options) {
+	var extra []lp.Constraint
+	if s.hasBest {
+		extra = append(extra, lp.Constraint{
+			Coeffs: s.work.LP.Objective,
+			Rel:    lp.LE,
+			RHS:    s.bestObj - s.objOff,
+		})
+	}
+	cgs := cgCuts(s.work, extra, root.relax.X)
+	if len(cgs) == 0 {
+		return
+	}
+	trial := s.base.Clone()
+	trial.Constraints = append(trial.Constraints, cgs...)
+	sol, err := lp.Solve(trial, lpOpts)
+	if err != nil || sol.Status != lp.Optimal {
+		return
+	}
+	s.countLP(sol)
+	s.base = trial
+	s.cuts += len(cgs)
+	s.cutRounds++
+	root.prob = s.base
+	root.relax = sol
+	root.bound = sol.Objective + s.objOff
 }
 
 // solveRelax solves the LP relaxation of a node and stores bound/solution.
@@ -621,7 +738,7 @@ func (s *solver) solveRelax(n *node, basis lp.BasisSnapshot) (lp.Status, error) 
 	}
 	s.countLP(sol)
 	n.relax = sol
-	n.bound = sol.Objective
+	n.bound = sol.Objective + s.objOff
 	return sol.Status, nil
 }
 
@@ -640,7 +757,7 @@ func (s *solver) countLP(sol lp.Solution) {
 // or -1 if the point is integral.
 func (s *solver) fractionalVar(x []float64) int {
 	best, bestDist := -1, s.tol
-	for j, isInt := range s.p.Integer {
+	for j, isInt := range s.work.Integer {
 		if !isInt {
 			continue
 		}
@@ -768,6 +885,8 @@ func (s *solver) result(st Status) Result {
 		Status:         st,
 		Nodes:          s.nodes,
 		Cuts:           s.cuts,
+		CutRounds:      s.cutRounds,
+		Presolve:       s.presolve,
 		Elapsed:        time.Since(s.start),
 		LPIterations:   int(s.lpIters.Load()),
 		WarmLPSolves:   int(s.warmLP.Load()),

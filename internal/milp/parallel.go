@@ -110,18 +110,36 @@ func (s *solver) prepare(n *node) prep {
 	p := prep{n: n}
 	frac := s.fractionalVar(n.relax.X)
 	if frac < 0 {
-		// Integer feasible: the node is a leaf.
+		// Integer feasible: the node is a leaf. Under presolve the
+		// relaxation point lives in reduced space; lift it (and price it
+		// against the original objective) before it can become an
+		// incumbent.
 		p.integral = true
-		if obj := n.relax.Objective; obj < s.curBest()-1e-9 {
-			p.candidates = append(p.candidates, candidate{
-				x:   append([]float64(nil), n.relax.X...),
-				obj: obj,
-			})
+		if s.red == nil {
+			if obj := n.relax.Objective; obj < s.curBest()-1e-9 {
+				p.candidates = append(p.candidates, candidate{
+					x:   append([]float64(nil), n.relax.X...),
+					obj: obj,
+				})
+			}
+			return p
+		}
+		x, obj := s.liftLeaf(n.relax.X)
+		if obj < s.curBest()-1e-9 {
+			p.candidates = append(p.candidates, candidate{x: x, obj: obj})
 		}
 		return p
 	}
 	if s.opts != nil && s.opts.Rounder != nil {
-		if cand, ok := s.opts.Rounder(n.relax.X); ok {
+		// The rounder works in original-variable space (it encodes model
+		// knowledge, e.g. solve.RoundingRepair's recipe rounding), so the
+		// reduced point is lifted first; its candidate is checked against
+		// the original problem as usual.
+		rx := n.relax.X
+		if s.red != nil {
+			rx = s.red.Postsolve(rx)
+		}
+		if cand, ok := s.opts.Rounder(rx); ok {
 			if obj, err := s.checkFeasible(cand); err == nil && obj < s.curBest()-1e-9 {
 				p.candidates = append(p.candidates, candidate{x: cand, obj: obj})
 			}
@@ -133,6 +151,27 @@ func (s *solver) prepare(n *node) prep {
 		p.branchVars = []int{frac}
 	}
 	return p
+}
+
+// liftLeaf turns an integral reduced-space relaxation point into an
+// original-space incumbent candidate: reduced integer variables snap to
+// the nearest integer (the LP leaves them within tol of it), the point is
+// lifted through the postsolve map, and the objective is re-priced
+// exactly against the original cost vector — the same trust the
+// non-presolve path places in an integral relaxation.
+func (s *solver) liftLeaf(rx []float64) ([]float64, float64) {
+	y := append([]float64(nil), rx...)
+	for j, isInt := range s.work.Integer {
+		if isInt {
+			y[j] = math.Round(y[j])
+		}
+	}
+	x := s.red.Postsolve(y)
+	obj := 0.0
+	for j, c := range s.p.LP.Objective {
+		obj += c * x[j]
+	}
+	return x, obj
 }
 
 // prepareAll runs phase 1 over the batch.

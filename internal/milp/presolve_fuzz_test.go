@@ -1,0 +1,130 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rentmin/internal/lp"
+)
+
+// FuzzPresolve hardens the presolve -> solve -> postsolve pipeline: for a
+// randomized small MILP (mixed GE/LE rows, optional box bounds, optional
+// continuous columns) the presolved solve must agree with the direct
+// solve — same status, same optimal objective within tolerance — and its
+// lifted incumbent must be feasible for the ORIGINAL problem under the
+// solver's own feasibility checker. The cfg byte toggles the surrounding
+// machinery (root cuts, integral-objective pruning, parallel workers, a
+// warm-start incumbent feeding the cutoff row), so the fuzzer also drives
+// the phantom-cutoff and CG-cut paths.
+//
+// Unbounded outcomes are skipped: when the LP relaxation is unbounded the
+// direct solve reports Unbounded, while presolve may legitimately prove
+// integer infeasibility first — both truthful, not comparable.
+func FuzzPresolve(f *testing.F) {
+	f.Add(uint64(1), uint8(0))
+	f.Add(uint64(7), uint8(1))
+	f.Add(uint64(42), uint8(3))
+	f.Add(uint64(0xF00D), uint8(7))
+	f.Add(uint64(0xBEEF), uint8(15))
+	f.Fuzz(func(t *testing.T, seed uint64, cfg uint8) {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := 1 + r.Intn(4)
+		m := 1 + r.Intn(3)
+		p := &Problem{
+			LP:      lp.Problem{Objective: make([]float64, n)},
+			Integer: make([]bool, n),
+		}
+		boxed := cfg&4 != 0
+		if boxed {
+			p.LP.Hi = make([]float64, n)
+		}
+		for j := 0; j < n; j++ {
+			p.LP.Objective[j] = float64(1 + r.Intn(15))
+			p.Integer[j] = r.Intn(5) != 0 // mostly integer, some continuous
+			if boxed {
+				p.LP.Hi[j] = float64(1 + r.Intn(6))
+			}
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = float64(r.Intn(4))
+			}
+			row[r.Intn(n)] = float64(1 + r.Intn(4))
+			rel := lp.GE
+			rhs := float64(r.Intn(12))
+			if boxed && r.Intn(3) == 0 {
+				// With finite bounds an LE row cannot cause unboundedness,
+				// and it gives redundancy/coefficient-reduction real work.
+				rel = lp.LE
+				rhs = float64(3 + r.Intn(15))
+			}
+			p.LP.Constraints = append(p.LP.Constraints, lp.Constraint{
+				Coeffs: row, Rel: rel, RHS: rhs,
+			})
+		}
+
+		opts := Options{}
+		if cfg&1 != 0 && allInt(p) {
+			// Gomory root cuts are only valid on pure integer programs
+			// (SolveGomory's documented contract, owned by the caller).
+			opts.RootCutRounds = 4
+		}
+		if cfg&2 != 0 {
+			opts.IntegralObjective = allInt(p)
+		}
+		if cfg&8 != 0 {
+			opts.Workers = 2
+		}
+
+		plain, err := Solve(p, &opts)
+		if err != nil {
+			t.Fatalf("direct solve: %v (seed=%d cfg=%d)", err, seed, cfg)
+		}
+		popts := opts
+		popts.Presolve = true
+		if cfg&16 != 0 && plain.Status == Optimal {
+			// Feed the known optimum back as a warm start: the cutoff row
+			// then proves it optimal either before or during the search.
+			popts.Incumbent = append([]float64(nil), plain.X...)
+		}
+		pres, err := Solve(p, &popts)
+		if err != nil {
+			t.Fatalf("presolved solve: %v (seed=%d cfg=%d)", err, seed, cfg)
+		}
+		if plain.Status == Unbounded || pres.Status == Unbounded {
+			return
+		}
+		if plain.Status != pres.Status {
+			t.Fatalf("status mismatch: direct %v, presolved %v (seed=%d cfg=%d)",
+				plain.Status, pres.Status, seed, cfg)
+		}
+		if plain.Status != Optimal {
+			return
+		}
+		scale := 1 + math.Abs(plain.Objective)
+		if math.Abs(plain.Objective-pres.Objective) > 1e-6*scale {
+			t.Fatalf("objective mismatch: direct %g, presolved %g (seed=%d cfg=%d)",
+				plain.Objective, pres.Objective, seed, cfg)
+		}
+		s := &solver{p: p, tol: 1e-6}
+		obj, err := s.checkFeasible(pres.X)
+		if err != nil {
+			t.Fatalf("presolved incumbent infeasible for the original: %v (seed=%d cfg=%d)", err, seed, cfg)
+		}
+		if math.Abs(obj-pres.Objective) > 1e-6*scale {
+			t.Fatalf("lifted incumbent re-prices to %g, result says %g (seed=%d cfg=%d)",
+				obj, pres.Objective, seed, cfg)
+		}
+	})
+}
+
+func allInt(p *Problem) bool {
+	for _, isInt := range p.Integer {
+		if !isInt {
+			return false
+		}
+	}
+	return true
+}

@@ -49,6 +49,16 @@ type SolveRecord struct {
 	WastedLPSolves int
 	LPKernel       string
 
+	// Root-strengthening counters: cutting planes added, cut-generation
+	// rounds, and presolve reductions (flat ints — obs must not import
+	// the solver packages).
+	Cuts           int
+	CutRounds      int
+	PresolveRows   int
+	PresolveCols   int
+	PresolveBounds int
+	PresolveCoeffs int
+
 	Incumbents []Point
 	Rounds     []RoundPoint
 	Spans      []SpanRecord

@@ -106,7 +106,7 @@ func TestLocalSolveOptionsLeaveDeadlineToContext(t *testing.T) {
 	s, _ := newTestServer(t, Config{Workers: 1})
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
-	opts, err := s.solveOptions(ctx, false)
+	opts, err := s.solveOptions(ctx, false, false)
 	if err != nil {
 		t.Fatalf("solveOptions: %v", err)
 	}
@@ -127,7 +127,7 @@ func TestCoordinatorExpiredDeadlineFailsFast(t *testing.T) {
 	s, _ := newTestServer(t, Config{SolverPool: pool})
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	if _, err := s.solveOptions(ctx, false); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := s.solveOptions(ctx, false, false); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("solveOptions on an expired deadline: err = %v, want context.DeadlineExceeded", err)
 	}
 }

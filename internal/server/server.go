@@ -91,6 +91,11 @@ type Config struct {
 	// /debug/pprof/ (cmd/rentmind's -pprof flag). Off by default: the
 	// profile endpoints are unauthenticated and can burn CPU.
 	Pprof bool
+	// DisablePresolve turns off the MILP root presolve daemon-wide
+	// (cmd/rentmind's -presolve=false). Requests can also disable it
+	// per-solve via SolveRequest.DisablePresolve; either switch wins.
+	// Off by default — presolve is on.
+	DisablePresolve bool
 	// Logger receives the daemon's structured log lines (dispatches,
 	// evictions, registrations, each with trace_id/worker/item fields
 	// where they apply). Nil uses slog.Default().
@@ -429,10 +434,11 @@ func (s *Server) solveTimeLimit(ms int64) (time.Duration, error) {
 // shaved by a small grace so the worker stops itself and ships its best
 // incumbent back before the coordinator's context cuts the connection.
 // An already-expired deadline fails fast instead of dispatching.
-func (s *Server) solveOptions(ctx context.Context, coldLP bool) (*rentmin.SolveOptions, error) {
+func (s *Server) solveOptions(ctx context.Context, coldLP, noPresolve bool) (*rentmin.SolveOptions, error) {
 	opts := &rentmin.SolveOptions{
 		Workers:            s.cfg.PerSolveWorkers,
 		DisableLPWarmStart: coldLP,
+		DisablePresolve:    s.cfg.DisablePresolve || noPresolve,
 	}
 	if !s.pool.Remote() {
 		return opts, nil
@@ -513,7 +519,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var st *searchTrace
 	solveSpan := tr.StartSpan("solve")
 	solveStart := time.Now()
-	opts, err := s.solveOptions(ctx, req.DisableLPWarmStart)
+	opts, err := s.solveOptions(ctx, req.DisableLPWarmStart, req.DisablePresolve)
 	if err == nil {
 		if req.Stats {
 			st = &searchTrace{}
@@ -671,7 +677,7 @@ func (s *Server) solveAll(ctx context.Context, problems []*rentmin.Problem, stat
 				// shared, so in coordinator mode each later item forwards
 				// a smaller remaining limit (and an exhausted budget fails
 				// the item instead of dispatching it).
-				opts, err := s.solveOptions(ctx, false)
+				opts, err := s.solveOptions(ctx, false, false)
 				if err != nil {
 					releaseLease()
 					results[i] = itemResult{err: err, queueWait: qw}
@@ -968,7 +974,7 @@ func (s *Server) parseProblem(w http.ResponseWriter, raw json.RawMessage, prefix
 }
 
 func toWireSolution(sol rentmin.Solution) client.Solution {
-	return client.Solution{
+	ws := client.Solution{
 		Allocation:     sol.Alloc,
 		Proven:         sol.Proven,
 		Bound:          sol.Bound,
@@ -978,8 +984,15 @@ func toWireSolution(sol rentmin.Solution) client.Solution {
 		WarmLPSolves:   sol.WarmLPSolves,
 		WastedLPSolves: sol.WastedLPSolves,
 		LPKernel:       sol.LPKernel,
+		Cuts:           sol.Cuts,
+		CutRounds:      sol.CutRounds,
 		ElapsedMs:      float64(sol.Elapsed) / float64(time.Millisecond),
 	}
+	if sol.Presolve != (rentmin.PresolveStats{}) {
+		ps := client.PresolveStats(sol.Presolve)
+		ws.Presolve = &ps
+	}
+	return ws
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v interface{}) {

@@ -53,7 +53,8 @@ func smallGeneratedProblem(r *rand.Rand) (*core.Problem, int) {
 
 // TestCrossValILPMatchesBruteForce: the general ILP path equals the
 // brute-force optimum on generated instances, for every worker count,
-// warm and cold node LPs, and both pivot kernels.
+// warm and cold node LPs, both pivot kernels, and with the root presolve
+// on and off.
 func TestCrossValILPMatchesBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -63,18 +64,24 @@ func TestCrossValILPMatchesBruteForce(t *testing.T) {
 		for _, w := range []int{1, 2, 8} {
 			// Warm-started and cold node LP solves must both land on the
 			// brute-force optimum, bit-identically (costs are integers),
-			// whichever kernel pivots the relaxations.
+			// whichever kernel pivots the relaxations and whether or not
+			// presolve reduced the root.
 			for _, coldLP := range []bool{false, true} {
 				for _, kernel := range []lp.KernelKind{lp.KernelDense, lp.KernelSparse} {
-					res, err := ILP(m, target, &ILPOptions{Workers: w, DisableLPWarmStart: coldLP, LPKernel: kernel})
-					if err != nil || !res.Proven {
-						return false
-					}
-					if res.Alloc.Cost != want {
-						return false
-					}
-					if err := m.CheckFeasible(res.Alloc, target); err != nil {
-						return false
+					for _, noPresolve := range []bool{false, true} {
+						res, err := ILP(m, target, &ILPOptions{
+							Workers: w, DisableLPWarmStart: coldLP,
+							LPKernel: kernel, DisablePresolve: noPresolve,
+						})
+						if err != nil || !res.Proven {
+							return false
+						}
+						if res.Alloc.Cost != want {
+							return false
+						}
+						if err := m.CheckFeasible(res.Alloc, target); err != nil {
+							return false
+						}
 					}
 				}
 			}

@@ -4,12 +4,26 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
+	"strings"
 	"time"
 
 	"rentmin/internal/core"
 	"rentmin/internal/lp"
 	"rentmin/internal/milp"
 )
+
+// presolveEnvEnabled reads the RENTMIN_PRESOLVE environment variable: an
+// explicit off value disables presolve process-wide (the CI test matrix
+// uses it to run the whole suite with and without presolve); anything
+// else, including unset, keeps the default on.
+func presolveEnvEnabled() bool {
+	switch strings.ToLower(os.Getenv("RENTMIN_PRESOLVE")) {
+	case "0", "off", "false", "no":
+		return false
+	}
+	return true
+}
 
 // ILPOptions tunes the integer-program path for the general shared-type
 // case (Section V-C).
@@ -32,6 +46,14 @@ type ILPOptions struct {
 	DisableIntegralPruning bool
 	// DisableCuts switches off Gomory root cuts (ablation).
 	DisableCuts bool
+	// DisablePresolve switches off the root presolve pass (bound
+	// tightening, fixing, row/column elimination, coefficient reduction
+	// and the CG rounding cut round it enables — see milp.Options.Presolve).
+	// Presolve is on by default: it shrinks the tree before the first
+	// pivot runs and the reported cost is identical either way. The
+	// RENTMIN_PRESOLVE environment variable ("0"/"off"/"false"/"no")
+	// disables it process-wide for CI matrix runs and ablation.
+	DisablePresolve bool
 	// CutRounds overrides the default number of Gomory rounds (0 keeps
 	// the default of 4).
 	CutRounds int
@@ -69,13 +91,17 @@ type ILPOptions struct {
 type ILPResult struct {
 	Alloc core.Allocation
 	// Proven is true when the allocation is proven optimal.
-	Proven  bool
-	Status  milp.Status
-	Bound   float64 // proven lower bound on the optimal cost
-	Nodes   int
-	Cuts    int // Gomory cuts added at the root
-	Elapsed time.Duration
-	Gap     float64
+	Proven    bool
+	Status    milp.Status
+	Bound     float64 // proven lower bound on the optimal cost
+	Nodes     int
+	Cuts      int // cutting planes added at the root (Gomory + CG rounding)
+	CutRounds int // root cut-generation rounds performed
+	Elapsed   time.Duration
+	Gap       float64
+	// Presolve counts the root reductions applied (all zero when presolve
+	// is disabled).
+	Presolve milp.PresolveStats
 	// LPIterations counts simplex pivots across all node LP solves;
 	// WarmLPSolves/ColdLPSolves split those solves by warm-start path.
 	LPIterations int
@@ -221,6 +247,7 @@ func ILPContext(ctx context.Context, m *core.CostModel, target int, opts *ILPOpt
 	if !opts.DisableRounding {
 		mopts.Rounder = RoundingRepair(m, target)
 	}
+	mopts.Presolve = !opts.DisablePresolve && presolveEnvEnabled()
 	switch {
 	case opts.WarmStart != nil:
 		if len(opts.WarmStart) != m.J {
@@ -241,6 +268,8 @@ func ILPContext(ctx context.Context, m *core.CostModel, target int, opts *ILPOpt
 		Bound:          res.Bound,
 		Nodes:          res.Nodes,
 		Cuts:           res.Cuts,
+		CutRounds:      res.CutRounds,
+		Presolve:       res.Presolve,
 		Elapsed:        res.Elapsed,
 		Gap:            res.Gap,
 		Proven:         res.Status == milp.Optimal,

@@ -152,6 +152,13 @@ type SolveOptions struct {
 	// cold from scratch). The optimal cost is identical either way; the
 	// toggle exists for ablation and for diagnosing numerical trouble.
 	DisableLPWarmStart bool
+	// DisablePresolve switches off the root presolve pass and the CG
+	// rounding cuts it enables (bound tightening, variable fixing,
+	// row/column elimination, coefficient reduction before branch and
+	// bound). Presolve is on by default and the optimal cost is identical
+	// either way; the toggle exists for ablation and CI matrix runs (the
+	// RENTMIN_PRESOLVE environment variable disables it process-wide).
+	DisablePresolve bool
 	// LPKernel selects the simplex pivot kernel used for every LP
 	// relaxation: "dense" (tableau), "sparse" (revised simplex with a
 	// factorized basis), or "" / "auto" (the process default, settable
@@ -194,6 +201,19 @@ type RoundInfo struct {
 	Elapsed time.Duration
 }
 
+// PresolveStats counts the reductions the root presolve pass applied
+// before branch and bound (see SolveOptions.DisablePresolve).
+type PresolveStats struct {
+	// RowsRemoved counts constraint rows eliminated as redundant or empty.
+	RowsRemoved int
+	// ColsFixed counts variables fixed and substituted out.
+	ColsFixed int
+	// BoundsTightened counts individual bound-tightening events.
+	BoundsTightened int
+	// CoeffsReduced counts integer coefficient-reduction events.
+	CoeffsReduced int
+}
+
 // Solution is the outcome of the exact solver.
 type Solution struct {
 	Alloc Allocation
@@ -218,6 +238,15 @@ type Solution struct {
 	// a sibling's incumbent. Always zero for Workers == 1; the ratio
 	// WastedLPSolves/LPSolves is the speculation waste of parallelism.
 	WastedLPSolves int
+	// Cuts counts cutting planes added at the root (Gomory fractional
+	// plus CG rounding), over CutRounds generation rounds. Both are
+	// deterministic for a fixed problem: cut generation runs on the
+	// coordinator before the parallel search starts.
+	Cuts      int
+	CutRounds int
+	// Presolve counts the root presolve reductions (all zero when
+	// DisablePresolve is set).
+	Presolve PresolveStats
 	// Elapsed is the solver wall-clock time.
 	Elapsed time.Duration
 	// LPKernel names the simplex kernel that solved the relaxations
@@ -256,6 +285,7 @@ func SolveContext(ctx context.Context, p *Problem, opts *SolveOptions) (Solution
 		iopts.WarmStart = opts.WarmStart
 		iopts.Workers = opts.Workers
 		iopts.DisableLPWarmStart = opts.DisableLPWarmStart
+		iopts.DisablePresolve = opts.DisablePresolve
 		var err error
 		kernel, err = lp.ParseKernel(opts.LPKernel)
 		if err != nil {
@@ -289,6 +319,9 @@ func SolveContext(ctx context.Context, p *Problem, opts *SolveOptions) (Solution
 		LPSolves:       res.WarmLPSolves + res.ColdLPSolves,
 		WarmLPSolves:   res.WarmLPSolves,
 		WastedLPSolves: res.WastedLPSolves,
+		Cuts:           res.Cuts,
+		CutRounds:      res.CutRounds,
+		Presolve:       PresolveStats(res.Presolve),
 		Elapsed:        res.Elapsed,
 		LPKernel:       lp.EffectiveKernel(kernel).String(),
 	}, nil
@@ -393,6 +426,7 @@ func (p *SolverPool) SolveBatchContext(ctx context.Context, problems []*Problem,
 	if opts != nil {
 		each.TimeLimit = opts.TimeLimit
 		each.DisableLPWarmStart = opts.DisableLPWarmStart
+		each.DisablePresolve = opts.DisablePresolve
 		each.LPKernel = opts.LPKernel
 	}
 	out := make([]Solution, len(problems))
