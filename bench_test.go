@@ -7,6 +7,7 @@
 package rentmin_test
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -636,6 +637,80 @@ func BenchmarkILPPresolve(b *testing.B) {
 		}
 	}
 }
+
+// --- Online re-optimization sessions -----------------------------------------
+
+// fig8SessionProblem returns a Fig. 8-scale public Problem (10
+// alternatives of 100-200 tasks over 50 machine types) for the session
+// benches: large enough that each event's re-solve is dominated by
+// branch and bound, i.e. exactly where warm re-solves must pay off.
+func fig8SessionProblem(b *testing.B) *rentmin.Problem {
+	b.Helper()
+	p, err := graphgen.Generate(experiments.Fig8Setting(0).Gen, rng.New(0xF198).Sub('c', 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Target = 120
+	return p
+}
+
+// benchSessionResolve streams an oscillating target script through one
+// session per op — the canonical online re-optimization load, where
+// consecutive optima stay close — and reports total simplex pivots plus
+// solution churn (machine moves per op, informational). Session creation
+// (the initial cold solve) happens outside the timed region; the timed
+// region is exactly the event re-solves. The warm leg must run every
+// re-solve warm and CI gates its simplex-iters/op staying below the cold
+// leg's via BENCH_baseline.json.
+func benchSessionResolve(b *testing.B, cold bool) {
+	b.Helper()
+	p := fig8SessionProblem(b)
+	targets := []int{110, 120, 110, 120}
+	opts := &rentmin.SessionOptions{Workers: 1, DisableWarm: cold}
+	iters, churn, warm := 0, 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sess, res0, err := rentmin.NewSession(context.Background(), p, opts)
+		if err != nil || res0.Status != "optimal" {
+			b.Fatalf("session create: %v %+v", err, res0)
+		}
+		b.StartTimer()
+		for _, t := range targets {
+			res, err := sess.Apply(context.Background(),
+				rentmin.SessionEvent{Kind: rentmin.SessionTargetChange, Target: t})
+			if err != nil || res.Status != "optimal" {
+				b.Fatalf("apply target %d: %v %+v", t, err, res)
+			}
+			iters += res.LPIterations
+			churn += res.Churn
+			if res.Warm {
+				warm++
+			}
+		}
+		b.StopTimer()
+		sess.Close()
+		b.StartTimer()
+	}
+	if want := len(targets) * b.N; !cold && warm != want {
+		b.Fatalf("warm leg ran %d/%d re-solves warm", warm, want)
+	} else if cold && warm != 0 {
+		b.Fatalf("cold leg ran %d re-solves warm", warm)
+	}
+	b.ReportMetric(float64(iters)/float64(b.N), "simplex-iters/op")
+	b.ReportMetric(float64(churn)/float64(b.N), "churn/op")
+}
+
+// BenchmarkSessionResolveWarm is the headline session bench: every
+// re-solve seeded with the previous optimum (incumbent cutoff) and the
+// prior root basis.
+func BenchmarkSessionResolveWarm(b *testing.B) { benchSessionResolve(b, false) }
+
+// BenchmarkSessionResolveCold replays the same script with warm seeding
+// disabled — every event pays a from-scratch exact solve. The
+// simplex-iters/op ratio against BenchmarkSessionResolveWarm is the
+// online re-optimization speedup.
+func BenchmarkSessionResolveCold(b *testing.B) { benchSessionResolve(b, true) }
 
 // --- Component micro-benchmarks ----------------------------------------------
 

@@ -333,6 +333,156 @@ type DebugSolvesResponse struct {
 	Solves []DebugSolve `json:"solves"`
 }
 
+// --- online re-optimization sessions -----------------------------------------
+
+// CreateSessionRequest is the body of POST /v1/sessions: it opens a
+// long-lived re-optimization session around one problem instance. The
+// daemon solves the instance cold, keeps the optimal allocation and the
+// root LP basis, and re-solves warm from them on every streamed event
+// (POST /v1/sessions/{id}/events).
+type CreateSessionRequest struct {
+	// Problem is the instance to adopt, in the rentmin JSON schema. It
+	// passes the same fuzz-hardened ingestion and admission bounds as
+	// /v1/solve.
+	Problem json.RawMessage `json:"problem"`
+	// Target, when non-nil, overrides the problem's target_throughput.
+	Target *int `json:"target,omitempty"`
+	// TimeLimitMs bounds each of the session's re-solves — the initial
+	// cold solve and every event re-solve — in milliseconds (zero =
+	// daemon default, clamped to the daemon maximum).
+	TimeLimitMs int64 `json:"time_limit_ms,omitempty"`
+	// DisablePresolve switches off the root presolve pass for the
+	// session's re-solves.
+	DisablePresolve bool `json:"disable_presolve,omitempty"`
+	// DisableWarm forces every re-solve cold — no incumbent seeding, no
+	// root-basis reuse (ablation and benchmarking).
+	DisableWarm bool `json:"disable_warm,omitempty"`
+}
+
+// SessionEvent is one streamed mutation in a POST /v1/sessions/{id}/events
+// request: set Kind plus the fields that kind names. The operand fields
+// are pointers so zero values (machine type 0, target 0, price 0, graph
+// index 0) stay distinguishable from an omitted field — an event missing
+// its operand is rejected per-event, not defaulted.
+type SessionEvent struct {
+	// Kind is one of "recipe_arrival", "recipe_departure",
+	// "target_change", "price_change", "outage", "restore".
+	Kind string `json:"kind"`
+	// Graph is the arriving recipe graph (recipe_arrival), in the
+	// problem schema's graph form: {"name", "tasks", "edges"}.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// GraphIndex names the departing graph by its index in the session's
+	// current problem (recipe_departure).
+	GraphIndex *int `json:"graph_index,omitempty"`
+	// Target is the new fleet-wide target throughput (target_change).
+	Target *int `json:"target,omitempty"`
+	// Type is the machine type the event acts on (price_change, outage,
+	// restore).
+	Type *int `json:"type,omitempty"`
+	// Price is the type's new hourly cost (price_change).
+	Price *int `json:"price,omitempty"`
+}
+
+// SessionEventsRequest is the body of POST /v1/sessions/{id}/events: an
+// ordered list of events, applied one at a time. Each event that commits
+// triggers one re-solve; an invalid event yields a per-event error and
+// leaves the session unchanged, and later events still apply.
+type SessionEventsRequest struct {
+	Events []SessionEvent `json:"events"`
+	// TimeLimitMs bounds each individual event re-solve in milliseconds
+	// (zero = daemon default, clamped to the daemon maximum).
+	TimeLimitMs int64 `json:"time_limit_ms,omitempty"`
+}
+
+// SessionResolve is the outcome of applying one session event: one
+// element of a SessionEventsResponse, and the initial solve on a
+// CreateSessionResponse.
+type SessionResolve struct {
+	// Seq is the session-wide event sequence number (0 = the initial
+	// solve at creation).
+	Seq int `json:"seq"`
+	// Kind echoes the event kind ("create" for the initial solve).
+	Kind string `json:"kind"`
+	// Status is "optimal", "feasible" (a limit stopped the re-solve with
+	// its best incumbent, unproven), or "infeasible" (every machine type
+	// needed is offline).
+	Status string `json:"status,omitempty"`
+	// Allocation is the committed allocation in the full problem's shape
+	// (offline types and their graphs pinned to zero); nil on a
+	// per-event error.
+	Allocation *Allocation `json:"allocation,omitempty"`
+	// Warm reports whether the re-solve was seeded from the previous
+	// optimum (incumbent cutoff + root basis); false means it ran cold.
+	// RootLPWarm additionally reports that the seeded root basis was
+	// restored by the LP kernel rather than discarded.
+	Warm       bool `json:"warm"`
+	RootLPWarm bool `json:"root_lp_warm,omitempty"`
+	// Churn counts machine moves: the L1 distance between the previous
+	// and new per-type machine counts.
+	Churn int `json:"churn"`
+	// SolveMs is the re-solve wall clock; LPIterations and Nodes its
+	// search effort.
+	SolveMs      float64 `json:"solve_ms"`
+	LPIterations int     `json:"lp_iterations"`
+	Nodes        int     `json:"nodes"`
+	// Error is set instead of the other fields when this event was
+	// rejected (the session state is unchanged).
+	Error string `json:"error,omitempty"`
+}
+
+// SessionState is a point-in-time session snapshot: the body of
+// GET /v1/sessions/{id} and the closing field of every session response.
+type SessionState struct {
+	// ID is the session's identifier (path parameter of the session
+	// endpoints).
+	ID string `json:"id"`
+	// Events is the sequence number of the last committed event (0 right
+	// after creation — the initial solve is Seq 0); Graphs and Tasks
+	// size the current problem; Target is the current fleet-wide target.
+	Events int `json:"events"`
+	Graphs int `json:"graphs"`
+	Tasks  int `json:"tasks"`
+	Target int `json:"target"`
+	// Feasible is false while the session is in an infeasible state
+	// (outages removed every graph); Cost and Allocation are the current
+	// committed optimum otherwise.
+	Feasible   bool       `json:"feasible"`
+	Cost       int64      `json:"cost"`
+	Allocation Allocation `json:"allocation"`
+	// Offline lists the machine types currently under an outage.
+	Offline []int `json:"offline,omitempty"`
+	// WarmResolves/ColdResolves split the session's committed re-solves
+	// by path; ChurnMoves accumulates machine moves across them, and
+	// ChurnRatio is moves per fleet-machine across the session's life
+	// (0 when no machines were ever allocated).
+	WarmResolves int     `json:"warm_resolves"`
+	ColdResolves int     `json:"cold_resolves"`
+	ChurnMoves   int64   `json:"churn_moves"`
+	ChurnRatio   float64 `json:"churn_ratio"`
+}
+
+// CreateSessionResponse is the body of a successful POST /v1/sessions.
+type CreateSessionResponse struct {
+	ID     string         `json:"id"`
+	Result SessionResolve `json:"result"`
+	State  SessionState   `json:"state"`
+}
+
+// SessionEventsResponse is the body of a POST /v1/sessions/{id}/events
+// response: per-event outcomes in input order, then the state after the
+// last event.
+type SessionEventsResponse struct {
+	Results []SessionResolve `json:"results"`
+	State   SessionState     `json:"state"`
+}
+
+// CloseSessionResponse is the body of DELETE /v1/sessions/{id}.
+type CloseSessionResponse struct {
+	ID string `json:"id"`
+	// Events counts the events the session committed over its life.
+	Events int `json:"events"`
+}
+
 // ErrorResponse is the JSON body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -11,6 +11,7 @@
 //	         [-default-time-limit 10s] [-max-time-limit 60s]
 //	         [-shutdown-grace 30s] [-problem-cache 256] [-lp-kernel dense|sparse]
 //	         [-presolve=false] [-debug-solves 64] [-pprof]
+//	         [-max-sessions 64] [-session-idle 15m]
 //	         [-coordinator] [-workers-endpoints http://w1:8080,http://w2:8080]
 //	         [-workers-wait 15s] [-evict-strikes 3] [-health-interval 5s]
 //	         [-register http://coord:8080 -advertise http://me:8080
@@ -43,6 +44,18 @@
 //	POST /v1/batch         solve many problems concurrently
 //	PUT  /v1/problems/{h}  upload a problem document to the
 //	                       content-addressed cache (h = sha256 of the bytes)
+//	POST /v1/sessions      open an online re-optimization session: the daemon
+//	                       adopts the problem, solves it, and keeps the
+//	                       optimum warm for the event stream (docs/sessions.md)
+//	POST /v1/sessions/{id}/events
+//	                       stream events (recipe arrival/departure, target or
+//	                       price change, outage/restore); each commits one
+//	                       warm re-solve with per-event churn accounting
+//	GET  /v1/sessions/{id} session snapshot: current optimum, offline types,
+//	                       warm/cold resolve counters, cumulative churn
+//	DELETE /v1/sessions/{id}
+//	                       close a session (idle ones expire by themselves
+//	                       after -session-idle)
 //	POST /v1/workers       register a worker with a coordinator
 //	GET  /v1/workers       list the coordinator's fleet
 //	DELETE /v1/workers     remove a worker (?endpoint=...)
@@ -51,7 +64,8 @@
 //	GET  /healthz          liveness and queue gauges (503 while draining)
 //	GET  /metrics          Prometheus-style counters: solve counts, queue
 //	                       depth, p50/p99 latency and queue wait, LP totals,
-//	                       problem-cache hit ratio, fleet size, per-worker
+//	                       problem-cache hit ratio, session warm/cold resolve
+//	                       split and churn ratio, fleet size, per-worker
 //	                       health and dispatch RTT in coordinator mode
 //	GET  /debug/solves     the solve flight recorder: the last -debug-solves
 //	                       solve summaries (trace IDs, queue wait, worker
@@ -118,6 +132,8 @@ func main() {
 	maxLimit := flag.Duration("max-time-limit", 60*time.Second, "hard cap on client-requested solve deadlines")
 	grace := flag.Duration("shutdown-grace", 30*time.Second, "how long to wait for in-flight solves on SIGINT/SIGTERM")
 	problemCache := flag.Int("problem-cache", 256, "content-addressed problem cache entries (LRU eviction beyond)")
+	maxSessions := flag.Int("max-sessions", 64, "open re-optimization sessions (creating beyond answers 429)")
+	sessionIdle := flag.Duration("session-idle", 15*time.Minute, "evict sessions with no traffic for this long")
 	coordinator := flag.Bool("coordinator", false, "run as a coordinator even with no seed workers: the fleet starts empty and fills as workers register via POST /v1/workers")
 	workersEndpoints := flag.String("workers-endpoints", "", "comma-separated rentmind worker base URLs seeding the coordinator's fleet; implies -coordinator")
 	workersWait := flag.Duration("workers-wait", 15*time.Second, "how long to keep retrying worker capacity discovery at coordinator startup")
@@ -139,21 +155,23 @@ func main() {
 	lp.SetDefaultKernel(kernel)
 
 	cfg := server.Config{
-		Workers:          *workers,
-		PerSolveWorkers:  *perSolve,
-		QueueDepth:       *queue,
-		MaxGraphs:        *maxGraphs,
-		MaxTypes:         *maxTypes,
-		MaxTasks:         *maxTasks,
-		MaxTarget:        *maxTarget,
-		MaxBatch:         *maxBatch,
-		MaxBodyBytes:     *maxBody,
-		DefaultTimeLimit: *defaultLimit,
-		MaxTimeLimit:     *maxLimit,
-		ProblemCacheSize: *problemCache,
-		DebugSolves:      *debugSolves,
-		Pprof:            *pprofFlag,
-		DisablePresolve:  !*presolve,
+		Workers:            *workers,
+		PerSolveWorkers:    *perSolve,
+		QueueDepth:         *queue,
+		MaxGraphs:          *maxGraphs,
+		MaxTypes:           *maxTypes,
+		MaxTasks:           *maxTasks,
+		MaxTarget:          *maxTarget,
+		MaxBatch:           *maxBatch,
+		MaxBodyBytes:       *maxBody,
+		DefaultTimeLimit:   *defaultLimit,
+		MaxTimeLimit:       *maxLimit,
+		ProblemCacheSize:   *problemCache,
+		MaxSessions:        *maxSessions,
+		SessionIdleTimeout: *sessionIdle,
+		DebugSolves:        *debugSolves,
+		Pprof:              *pprofFlag,
+		DisablePresolve:    !*presolve,
 	}
 	if *register != "" && *advertise == "" {
 		fatal("-register needs -advertise (the base URL the coordinator dials this worker at)")

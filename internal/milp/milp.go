@@ -160,6 +160,16 @@ type Options struct {
 	// optimal basis (ablation/debugging; the optimum is identical either
 	// way, warm starts only change how many pivots reach it).
 	DisableWarmLP bool
+	// RootBasis optionally warm-starts the ROOT relaxation from a basis
+	// snapshot taken by an earlier solve of a similar problem (online
+	// re-optimization: a session hands the previous solve's Result.RootBasis
+	// back in after mutating the problem). A snapshot that no longer fits
+	// falls back to a cold solve transparently inside lp.SolveFrom. A
+	// seeded root skips RootCutRounds: keeping the root's row set
+	// identical across re-solves is what lets the NEXT solve restore this
+	// one's basis, and cut generation needs a cut-free root anyway.
+	// Ignored under DisableWarmLP.
+	RootBasis lp.BasisSnapshot
 	// OnIncumbent, when set, is invoked every time the search accepts a
 	// new incumbent, with its objective and point (the slice must not be
 	// retained or modified). Calls happen on the coordinator goroutine in
@@ -239,6 +249,18 @@ type Result struct {
 	// ColdLPSolves) measures how much of the LP work parallelism threw
 	// away.
 	WastedLPSolves int
+	// RootBasis is the root relaxation's optimal basis, for feeding a
+	// later re-solve of a mutated problem via Options.RootBasis. Nil when
+	// no root LP ran (presolve finished the solve outright, or the root
+	// was infeasible/unbounded). The snapshot belongs to the problem the
+	// tree actually searched — under presolve, the reduced problem; with
+	// root cuts, the cut-augmented rows — so a restore onto a different
+	// shape simply falls back cold inside lp.SolveFrom.
+	RootBasis lp.BasisSnapshot
+	// RootLPWarm reports whether the root relaxation really restored the
+	// caller-supplied Options.RootBasis (false when it solved cold or the
+	// restore was rejected and fell back).
+	RootLPWarm bool
 }
 
 // node is one branch-and-bound subproblem, defined by variable bounds.
@@ -337,6 +359,10 @@ type solver struct {
 	presolve  PresolveStats
 	seq       int
 	wasted    int // speculative child LP solves of mid-round-pruned nodes
+
+	// Root relaxation outcome, exported for re-optimization chains.
+	rootBasis lp.BasisSnapshot
+	rootWarm  bool
 }
 
 var errLimit = errors.New("milp: limit reached")
@@ -370,15 +396,25 @@ func (s *solver) run() (Result, error) {
 	s.base = &s.work.LP
 
 	root := &node{prob: s.base}
+	var rootSeed lp.BasisSnapshot
+	if s.opts != nil && !s.opts.DisableWarmLP {
+		rootSeed = s.opts.RootBasis
+	}
 	var st lp.Status
 	var err error
-	if s.opts != nil && s.opts.RootCutRounds > 0 {
+	if rootSeed != nil {
+		st, err = s.solveRelax(root, rootSeed)
+	} else if s.opts != nil && s.opts.RootCutRounds > 0 {
 		st, err = s.solveRootWithCuts(root)
 	} else {
 		st, err = s.solveRelax(root, nil)
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	if st == lp.Optimal {
+		s.rootBasis = root.relax.Basis
+		s.rootWarm = root.relax.Warm
 	}
 	switch st {
 	case lp.Unbounded:
@@ -892,6 +928,8 @@ func (s *solver) result(st Status) Result {
 		WarmLPSolves:   int(s.warmLP.Load()),
 		ColdLPSolves:   int(s.coldLP.Load()),
 		WastedLPSolves: s.wasted,
+		RootBasis:      s.rootBasis,
+		RootLPWarm:     s.rootWarm,
 	}
 	if s.hasBest {
 		r.X = s.bestX

@@ -32,6 +32,20 @@ type metrics struct {
 
 	qw  [latencyWindow]float64 // per-solve queue waits (lease acquisition), ms
 	qwN int
+
+	// Session re-solve accounting (/v1/sessions): committed re-solves
+	// split by path (warm = seeded from the previous optimum), machine
+	// moves and post-event fleet sizes for the churn ratio, and one
+	// latency window per path so warm/cold speed stays comparable.
+	sessWarm       int64
+	sessCold       int64
+	sessChurnMoves int64
+	sessChurnBase  int64
+
+	sessWarmMs [latencyWindow]float64
+	sessWarmN  int
+	sessColdMs [latencyWindow]float64
+	sessColdN  int
 }
 
 type reqKey struct {
@@ -83,6 +97,25 @@ func (m *metrics) recordSolution(sol rentmin.Solution) {
 	m.wastedLPSolves += int64(sol.WastedLPSolves)
 }
 
+// recordSessionResolve folds one committed session re-solve in: which
+// path ran (warm or cold), its wall clock, and its churn (machine moves
+// plus the post-event fleet size, the churn ratio's denominator).
+func (m *metrics) recordSessionResolve(warm bool, ms float64, churn, fleet int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if warm {
+		m.sessWarm++
+		m.sessWarmMs[m.sessWarmN%latencyWindow] = ms
+		m.sessWarmN++
+	} else {
+		m.sessCold++
+		m.sessColdMs[m.sessColdN%latencyWindow] = ms
+		m.sessColdN++
+	}
+	m.sessChurnMoves += int64(churn)
+	m.sessChurnBase += int64(fleet)
+}
+
 // gauges carries the instantaneous state the metrics page reports next to
 // the accumulated counters.
 type gauges struct {
@@ -103,6 +136,11 @@ type gauges struct {
 	// cache is the content-addressed problem cache snapshot (every
 	// daemon has one).
 	cache cacheStats
+	// sessionsActive/Created/Evicted snapshot the re-optimization
+	// session table (/v1/sessions).
+	sessionsActive  int
+	sessionsCreated int64
+	sessionsEvicted int64
 }
 
 // writeTo renders the Prometheus text exposition format.
@@ -185,12 +223,59 @@ func (m *metrics) writeTo(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# TYPE rentmind_draining gauge\n")
 	fmt.Fprintf(w, "rentmind_draining %d\n", draining)
 
+	m.writeSessions(w, g)
 	writeCache(w, g.cache)
 
 	if g.remote {
 		writeFleetAggregates(w, g.fleet, g.evictions)
 		writeFleet(w, g.fleet)
 	}
+}
+
+// writeSessions renders the re-optimization session series. Every series
+// is emitted unconditionally — a zero-traffic daemon exports zeros (never
+// NaN: the churn ratio's denominator guard), so dashboards and the CI
+// smoke always find them. Caller holds mu.
+func (m *metrics) writeSessions(w io.Writer, g gauges) {
+	fmt.Fprintf(w, "# HELP rentmind_sessions_active Open re-optimization sessions.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_sessions_active gauge\n")
+	fmt.Fprintf(w, "rentmind_sessions_active %d\n", g.sessionsActive)
+	fmt.Fprintf(w, "# HELP rentmind_sessions_created_total Sessions opened via POST /v1/sessions.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_sessions_created_total counter\n")
+	fmt.Fprintf(w, "rentmind_sessions_created_total %d\n", g.sessionsCreated)
+	fmt.Fprintf(w, "# HELP rentmind_sessions_evicted_total Sessions closed by the idle-eviction sweep.\n")
+	fmt.Fprintf(w, "# TYPE rentmind_sessions_evicted_total counter\n")
+	fmt.Fprintf(w, "rentmind_sessions_evicted_total %d\n", g.sessionsEvicted)
+
+	fmt.Fprintf(w, "# HELP rentmind_session_warm_resolves_total Session re-solves seeded from the previous optimum (incumbent cutoff + root basis).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_session_warm_resolves_total counter\n")
+	fmt.Fprintf(w, "rentmind_session_warm_resolves_total %d\n", m.sessWarm)
+	fmt.Fprintf(w, "# HELP rentmind_session_cold_resolves_total Session re-solves that ran cold (initial solves and ablations included).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_session_cold_resolves_total counter\n")
+	fmt.Fprintf(w, "rentmind_session_cold_resolves_total %d\n", m.sessCold)
+	fmt.Fprintf(w, "# HELP rentmind_session_events_total Committed session events (warm plus cold re-solves).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_session_events_total counter\n")
+	fmt.Fprintf(w, "rentmind_session_events_total %d\n", m.sessWarm+m.sessCold)
+
+	wp50, wp99 := windowQuantiles(m.sessWarmMs[:], m.sessWarmN)
+	cp50, cp99 := windowQuantiles(m.sessColdMs[:], m.sessColdN)
+	fmt.Fprintf(w, "# HELP rentmind_session_resolve_ms Session re-solve wall clock by path over the last %d re-solves.\n", latencyWindow)
+	fmt.Fprintf(w, "# TYPE rentmind_session_resolve_ms summary\n")
+	fmt.Fprintf(w, "rentmind_session_resolve_ms{path=\"warm\",quantile=\"0.5\"} %g\n", wp50)
+	fmt.Fprintf(w, "rentmind_session_resolve_ms{path=\"warm\",quantile=\"0.99\"} %g\n", wp99)
+	fmt.Fprintf(w, "rentmind_session_resolve_ms{path=\"cold\",quantile=\"0.5\"} %g\n", cp50)
+	fmt.Fprintf(w, "rentmind_session_resolve_ms{path=\"cold\",quantile=\"0.99\"} %g\n", cp99)
+
+	fmt.Fprintf(w, "# HELP rentmind_session_churn_moves_total Machine moves committed by session re-solves (L1 distance between consecutive machine-count vectors).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_session_churn_moves_total counter\n")
+	fmt.Fprintf(w, "rentmind_session_churn_moves_total %d\n", m.sessChurnMoves)
+	ratio := 0.0
+	if m.sessChurnBase > 0 {
+		ratio = float64(m.sessChurnMoves) / float64(m.sessChurnBase)
+	}
+	fmt.Fprintf(w, "# HELP rentmind_session_churn_ratio Machine moves per fleet-machine across all session re-solves (0 with no traffic).\n")
+	fmt.Fprintf(w, "# TYPE rentmind_session_churn_ratio gauge\n")
+	fmt.Fprintf(w, "rentmind_session_churn_ratio %g\n", ratio)
 }
 
 // writeCache renders the content-addressed problem cache series. The

@@ -49,8 +49,17 @@ type Config struct {
 	// bounds (0 = 64, 256, 8192, 1_000_000): problems above them are
 	// rejected with 422. MaxTasks counts tasks across all graphs.
 	MaxGraphs, MaxTypes, MaxTasks, MaxTarget int
-	// MaxBatch bounds the problems per /v1/batch request (0 = 64).
+	// MaxBatch bounds the problems per /v1/batch request (0 = 64) and the
+	// events per /v1/sessions/{id}/events request.
 	MaxBatch int
+	// MaxSessions bounds concurrently open re-optimization sessions
+	// (POST /v1/sessions; 0 = 64). Creating beyond the bound answers 429:
+	// retrying after a delete or an idle eviction can succeed.
+	MaxSessions int
+	// SessionIdleTimeout evicts sessions that have seen no traffic for
+	// this long (0 = 15m). Eviction never interrupts a request that is
+	// applying events — busy sessions are skipped until they go quiet.
+	SessionIdleTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (0 = 16 MiB).
 	MaxBodyBytes int64
 	// DefaultTimeLimit is the per-request solve deadline when the client
@@ -127,6 +136,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionIdleTimeout <= 0 {
+		c.SessionIdleTimeout = 15 * time.Minute
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
@@ -184,6 +199,12 @@ type Server struct {
 	// when no loop runs.
 	healthDone chan struct{}
 
+	// sessions is the bounded online re-optimization session table
+	// (/v1/sessions); sessDone is closed when its idle-eviction loop
+	// exits.
+	sessions *sessionTable
+	sessDone chan struct{}
+
 	queued   atomic.Int64
 	inFlight atomic.Int64
 }
@@ -215,8 +236,14 @@ func New(cfg Config) *Server {
 		leases: make(chan struct{}, cfg.Workers),
 		drain:  make(chan struct{}),
 	}
+	s.sessions = newSessionTable(cfg.MaxSessions)
+	s.sessDone = make(chan struct{})
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("PUT /v1/problems/{hash}", s.handleProblemPut)
 	s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
 	s.mux.HandleFunc("GET /v1/workers", s.handleWorkerList)
@@ -239,6 +266,7 @@ func New(cfg Config) *Server {
 		s.healthDone = make(chan struct{})
 		go s.healthLoop(cfg.HealthInterval)
 	}
+	go s.sessionEvictLoop()
 	return s
 }
 
@@ -283,6 +311,7 @@ func (s *Server) Close() {
 		if s.healthDone != nil {
 			<-s.healthDone // probes must not race the pool teardown
 		}
+		<-s.sessDone // the eviction loop closes every remaining session
 		s.pool.Close()
 	})
 }
@@ -306,6 +335,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case strings.HasPrefix(endpoint, "/v1/problems/"):
 		endpoint = "/v1/problems"
+	case strings.HasPrefix(endpoint, "/v1/sessions"):
+		endpoint = "/v1/sessions"
 	case strings.HasPrefix(endpoint, "/debug/pprof"):
 		endpoint = "/debug/pprof"
 	default:
@@ -929,16 +960,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	active, created, evicted := s.sessions.stats()
 	s.met.writeTo(w, gauges{
-		workers:    s.cfg.Workers,
-		queueCap:   s.cfg.QueueDepth,
-		queueDepth: int(s.queued.Load()),
-		inFlight:   int(s.inFlight.Load()),
-		draining:   s.draining(),
-		remote:     s.pool.Remote(),
-		fleet:      s.pool.WorkerStats(), // nil unless remote-backed
-		evictions:  s.pool.WorkerEvictions(),
-		cache:      s.cache.stats(),
+		workers:         s.cfg.Workers,
+		queueCap:        s.cfg.QueueDepth,
+		queueDepth:      int(s.queued.Load()),
+		inFlight:        int(s.inFlight.Load()),
+		draining:        s.draining(),
+		remote:          s.pool.Remote(),
+		fleet:           s.pool.WorkerStats(), // nil unless remote-backed
+		evictions:       s.pool.WorkerEvictions(),
+		cache:           s.cache.stats(),
+		sessionsActive:  active,
+		sessionsCreated: created,
+		sessionsEvicted: evicted,
 	})
 }
 

@@ -85,6 +85,11 @@ type ILPOptions struct {
 	// OnRound, when set, observes the branch-and-bound state after every
 	// frontier expansion round (observability hook; see milp.RoundInfo).
 	OnRound func(milp.RoundInfo)
+	// RootBasis warm-starts the root relaxation from a prior solve's
+	// ILPResult.RootBasis (online re-optimization; see milp.Options.RootBasis).
+	// A snapshot that no longer fits the mutated problem falls back to a
+	// cold root solve transparently.
+	RootBasis lp.BasisSnapshot
 }
 
 // ILPResult is the outcome of the integer-programming solve.
@@ -111,6 +116,13 @@ type ILPResult struct {
 	// their parent node was pruned mid-round (parallel search only; see
 	// milp.Result.WastedLPSolves).
 	WastedLPSolves int
+	// RootBasis is the root relaxation's optimal basis, reusable as
+	// ILPOptions.RootBasis by a later re-solve of a mutated problem (nil
+	// when no root LP ran — e.g. presolve finished the solve outright).
+	RootBasis lp.BasisSnapshot
+	// RootLPWarm reports whether the root LP actually restored the
+	// caller-supplied RootBasis instead of solving cold.
+	RootLPWarm bool
 }
 
 // BuildMILP encodes Definition 1 with shared task types as the MIP of
@@ -248,6 +260,7 @@ func ILPContext(ctx context.Context, m *core.CostModel, target int, opts *ILPOpt
 		mopts.Rounder = RoundingRepair(m, target)
 	}
 	mopts.Presolve = !opts.DisablePresolve && presolveEnvEnabled()
+	mopts.RootBasis = opts.RootBasis
 	switch {
 	case opts.WarmStart != nil:
 		if len(opts.WarmStart) != m.J {
@@ -277,6 +290,8 @@ func ILPContext(ctx context.Context, m *core.CostModel, target int, opts *ILPOpt
 		WarmLPSolves:   res.WarmLPSolves,
 		ColdLPSolves:   res.ColdLPSolves,
 		WastedLPSolves: res.WastedLPSolves,
+		RootBasis:      res.RootBasis,
+		RootLPWarm:     res.RootLPWarm,
 	}
 	if res.Status == milp.Optimal || res.Status == milp.Feasible {
 		rho := make([]int, m.J)
